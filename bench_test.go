@@ -1,0 +1,322 @@
+package leakbound_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// regenerates its experiment end-to-end (policy evaluation over cached
+// interval distributions) and reports the headline number the paper quotes
+// as a custom metric, so `go test -bench=. -benchmem` doubles as a results
+// summary.
+
+import (
+	"sync"
+	"testing"
+
+	"leakbound/internal/experiments"
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+	"leakbound/internal/workload"
+)
+
+// benchScale keeps full-suite simulation around a few seconds; EXPERIMENTS.md
+// records the scale-1.0 numbers.
+const benchScale = 0.25
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// sharedSuite simulates all six benchmarks once per `go test` process.
+func sharedSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.MustNewSuite(benchScale)
+		if _, err := suite.All(); err != nil {
+			panic(err)
+		}
+	})
+	return suite
+}
+
+func BenchmarkFigure1_ITRSProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTable1_InflectionPoints(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+		_, bb, err := power.Default().InflectionPoints()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = bb
+	}
+	b.ReportMetric(last, "drowsy-sleep-70nm-cycles")
+}
+
+func BenchmarkTable2_TechnologyScaling(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var hybrid70 float64
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(s); err != nil {
+			b.Fatal(err)
+		}
+		v, err := experiments.Table2Value(s, "OPT-Hybrid", true, power.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybrid70 = v
+	}
+	b.ReportMetric(hybrid70*100, "icache-hybrid-70nm-%")
+}
+
+func BenchmarkFigure7_HybridVsSleepSweep(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var gapAt10K float64
+	for i := 0; i < b.N; i++ {
+		sleep, hybrid, err := experiments.Figure7(s, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(sleep.Y) - 1
+		gapAt10K = hybrid.Y[n] - sleep.Y[n]
+	}
+	b.ReportMetric(gapAt10K*100, "icache-gap-at-10K-%")
+}
+
+func BenchmarkFigure8_SchemeComparison(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var hybridI float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8(s, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := rows[len(rows)-1]
+		for j, p := range experiments.Figure8Policies() {
+			if p.Name() == "OPT-Hybrid" {
+				hybridI = avg.Savings[j]
+			}
+		}
+		if _, err := experiments.Figure8(s, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(hybridI*100, "icache-OPT-Hybrid-%")
+}
+
+func BenchmarkFigure9_Prefetchability(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var dTotal float64
+	for i := 0; i < b.N; i++ {
+		iP, err := experiments.Figure9(s, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dP, err := experiments.Figure9(s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = iP
+		dTotal = dP.PrefetchableShare()
+	}
+	b.ReportMetric(dTotal*100, "dcache-prefetchable-%")
+}
+
+func BenchmarkFigure10_EnergyEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_PrefetchRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// Pipeline benches: the end-to-end cost of producing one benchmark's
+// interval distributions (simulation + classification + collection).
+
+func BenchmarkPipelineSimulateGzip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.MustNewSuite(0.05)
+		if _, err := s.Data("gzip"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches (design choices called out in DESIGN.md):
+
+// BenchmarkAblationHybridVsSleepOnly quantifies what the drowsy mode adds on
+// top of an optimally-managed sleep-only cache at the inflection point.
+func BenchmarkAblationHybridVsSleepOnly(b *testing.B) {
+	s := sharedSuite(b)
+	tech := power.Default()
+	data, err := s.Data("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		hy, err := leakage.Evaluate(tech, data.ICache, leakage.OPTHybrid{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sl, err := leakage.Evaluate(tech, data.ICache, leakage.OPTSleep{Theta: 1057})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = hy.Savings - sl.Savings
+	}
+	b.ReportMetric(delta*100, "drowsy-adds-%")
+}
+
+// BenchmarkAblationDecayTheta sweeps the decay interval, the knob the
+// cache-decay literature tunes, showing the cost of not knowing the future.
+func BenchmarkAblationDecayTheta(b *testing.B) {
+	s := sharedSuite(b)
+	tech := power.Default()
+	data, err := s.Data("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	thetas := []uint64{1057, 5000, 10000, 50000, 100000}
+	b.ResetTimer()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		best = 0
+		for _, th := range thetas {
+			ev, err := leakage.Evaluate(tech, data.DCache, leakage.SleepDecay{Theta: th})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ev.Savings > best {
+				best = ev.Savings
+			}
+		}
+	}
+	b.ReportMetric(best*100, "best-decay-%")
+}
+
+// BenchmarkAblationCounterOverhead isolates the decay counter leakage the
+// paper's footnote 2 accounts for.
+func BenchmarkAblationCounterOverhead(b *testing.B) {
+	s := sharedSuite(b)
+	data, err := s.Data("mesa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	with := power.Default()
+	without := with
+	without.CounterLeak = 0
+	b.ResetTimer()
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		evWith, err := leakage.Evaluate(with, data.DCache, leakage.SleepDecay{Theta: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evWithout, err := leakage.Evaluate(without, data.DCache, leakage.SleepDecay{Theta: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = evWithout.Savings - evWith.Savings
+	}
+	b.ReportMetric(cost*100, "counter-cost-%")
+}
+
+// BenchmarkAblationWorkloadGeneration measures raw generator throughput —
+// the substrate must not be the experiment bottleneck.
+func BenchmarkAblationWorkloadGeneration(b *testing.B) {
+	w := workload.MustNew("gcc", 1)
+	b.ResetTimer()
+	n := 0
+	w.Emit(func(in workload.Instr) bool {
+		n++
+		return n < b.N
+	})
+}
+
+// Extension benches (beyond the paper's evaluation):
+
+// BenchmarkExtensionL2Study evaluates the oracle on the 2MB L2, the
+// natural next target the paper's conclusion implies.
+func BenchmarkExtensionL2Study(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		data, err := s.Data("gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := leakage.Evaluate(power.Default(), data.L2Cache, leakage.OPTHybrid{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = ev.Savings
+	}
+	b.ReportMetric(avg*100, "gcc-L2-hybrid-%")
+}
+
+// BenchmarkExtensionAdaptiveDecay measures the feedback-tuned decay
+// baseline (Velusamy et al.) against the oracle gap.
+func BenchmarkExtensionAdaptiveDecay(b *testing.B) {
+	s := sharedSuite(b)
+	data, err := s.Data("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		ev, err := leakage.EvaluateAdaptiveDecay(power.Default(), data.DCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = ev.Savings
+	}
+	b.ReportMetric(savings*100, "vortex-adaptive-decay-%")
+}
+
+// BenchmarkExtensionWriteback quantifies the dirty-line write-back cost
+// the paper leaves unmodelled.
+func BenchmarkExtensionWriteback(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WritebackAblation(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTemperature sweeps junction temperature through the
+// analytical leakage model.
+func BenchmarkExtensionTemperature(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TemperatureSweep(s, "gzip"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale f] [-only item[,item...]]
+//
+// where item is one of: fig1, table1, table2, table3, fig7, fig8, fig9,
+// fig10, profile, extensions. With no -only, everything is produced in
+// paper order followed by the extension studies.
+// -scale stretches the benchmark lengths (1.0 = the full study length).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"leakbound/internal/experiments"
+	"leakbound/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = full study length)")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions")
+	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
+	format := flag.String("format", "text", "output format: text, markdown, or csv")
+	flag.Parse()
+
+	if err := run(*scale, *only, *cacheDir, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, only, cacheDir, format string) error {
+	var render func(*report.Table) error
+	switch format {
+	case "text":
+		render = func(t *report.Table) error { return t.Render(os.Stdout) }
+	case "markdown":
+		render = func(t *report.Table) error { return t.RenderMarkdown(os.Stdout) }
+	case "csv":
+		render = func(t *report.Table) error { return t.RenderCSV(os.Stdout) }
+	default:
+		return fmt.Errorf("unknown -format %q (want text, markdown, or csv)", format)
+	}
+	suite, err := experiments.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	if cacheDir != "" {
+		suite.WithCacheDir(cacheDir)
+	}
+	want := map[string]bool{}
+	if only != "" {
+		for _, item := range strings.Split(only, ",") {
+			want[strings.TrimSpace(item)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+	out := os.Stdout
+
+	if selected("fig1") {
+		if err := render(experiments.Figure1()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("table1") {
+		t, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("fig7") {
+		for _, iCache := range []bool{true, false} {
+			sleep, hybrid, err := experiments.Figure7(suite, iCache)
+			if err != nil {
+				return err
+			}
+			side := "(a) Instruction Cache"
+			if !iCache {
+				side = "(b) Data Cache"
+			}
+			if err := report.RenderSeries(out,
+				"Figure 7"+side+": hybrid vs sleep, swept minimum sleep interval",
+				"interval", sleep, hybrid); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if selected("fig8") {
+		for _, iCache := range []bool{true, false} {
+			t, err := experiments.Figure8Table(suite, iCache)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		pb, opt, gap, err := experiments.GapToOptimal(suite, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "I-cache: Prefetch-B %s vs OPT-Hybrid %s (gap %.1f%%)\n",
+			report.Pct(pb), report.Pct(opt), gap*100)
+		pb, opt, gap, err = experiments.GapToOptimal(suite, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "D-cache: Prefetch-B %s vs OPT-Hybrid %s (gap %.1f%%)\n\n",
+			report.Pct(pb), report.Pct(opt), gap*100)
+	}
+	if selected("table2") {
+		t, err := experiments.Table2(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("table3") {
+		if err := experiments.Table3().Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("fig9") {
+		for _, iCache := range []bool{true, false} {
+			t, err := experiments.Figure9Table(suite, iCache)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if selected("fig10") {
+		t, err := experiments.Figure10Table()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("extensions") {
+		ext, err := experiments.ExtendedSchemesTable(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(ext); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		l2, err := experiments.L2Study(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(l2); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		wb, err := experiments.WritebackAblation(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(wb); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ts, err := experiments.TemperatureSweep(suite, "gzip")
+		if err != nil {
+			return err
+		}
+		if err := render(ts); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		pq, err := experiments.PrefetcherQualityTable(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(pq); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		// The geometry sweep re-simulates every configuration; run it at a
+		// reduced scale to keep the full run under a minute.
+		geomScale := scale
+		if geomScale > 0.25 {
+			geomScale = 0.25
+		}
+		geo, err := experiments.GeometrySweep(geomScale)
+		if err != nil {
+			return err
+		}
+		if err := render(geo); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		ld, err := experiments.LiveDeadStudy(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(ld); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		bk, err := experiments.BreakdownTable(suite)
+		if err != nil {
+			return err
+		}
+		if err := render(bk); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("profile") {
+		all, err := suite.All()
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("Interval mass profile per benchmark (fraction of frame-cycles)",
+			"benchmark", "cache", "(0,6]", "(6,1057]", "(1057,10K]", "(10K,103K]", "(103K,+inf)")
+		for _, bd := range all {
+			for _, side := range []string{"I", "D"} {
+				dist := bd.ICache
+				if side == "D" {
+					dist = bd.DCache
+				}
+				p := experiments.MassProfile(dist)
+				t.MustAddRow(bd.Name, side,
+					report.Pct(p["(0,6]"]), report.Pct(p["(6,1057]"]),
+					report.Pct(p["(1057,10K]"]), report.Pct(p["(10K,103K]"]),
+					report.Pct(p["(103K,+inf)"]))
+			}
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSubsets(t *testing.T) {
+	// Static items are fast; simulated items run at a tiny scale.
+	for _, only := range []string{"fig1", "table1", "table3", "fig10"} {
+		if err := run(0.02, only, "", "text"); err != nil {
+			t.Errorf("run(%q): %v", only, err)
+		}
+	}
+}
+
+func TestRunSimulatedSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full suite")
+	}
+	if err := run(0.02, "fig8,fig9", "", "markdown"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run(0, "table1", "", "text"); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := run(0.02, "table1", "", "html"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunWithDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0.02, "table1", dir, "csv"); err != nil {
+		t.Fatal(err)
+	}
+}

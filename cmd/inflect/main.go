@@ -1,0 +1,73 @@
+// Command inflect computes the two inflection points of Section 3.2 for
+// arbitrary circuit parameters — the generalized model of Section 3.3 as a
+// calculator. With no overrides it prints Table 1 for the built-in
+// technology nodes.
+//
+// Usage:
+//
+//	inflect                                    # built-in nodes (Table 1)
+//	inflect -pa 0.8 -pd 0.27 -ps 0.008 -cd 250 # custom parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"leakbound/internal/power"
+	"leakbound/internal/report"
+)
+
+func main() {
+	pa := flag.Float64("pa", 0, "active leakage power per line per cycle")
+	pd := flag.Float64("pd", 0, "drowsy leakage power")
+	ps := flag.Float64("ps", 0, "sleep leakage power")
+	cd := flag.Float64("cd", 0, "induced-miss dynamic energy")
+	s1 := flag.Int("s1", 30, "cycles: high -> off")
+	s3 := flag.Int("s3", 3, "cycles: off -> high")
+	s4 := flag.Int("s4", 4, "cycles: extra wait for the L2 fetch")
+	d1 := flag.Int("d1", 3, "cycles: high -> low")
+	d3 := flag.Int("d3", 3, "cycles: low -> high")
+	flag.Parse()
+
+	if err := run(*pa, *pd, *ps, *cd, power.Durations{S1: *s1, S3: *s3, S4: *s4, D1: *d1, D3: *d3}); err != nil {
+		fmt.Fprintln(os.Stderr, "inflect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pa, pd, ps, cd float64, dur power.Durations) error {
+	if pa == 0 && pd == 0 && ps == 0 && cd == 0 {
+		t := report.NewTable("Inflection points for the built-in technology nodes (Table 1)",
+			"technology", "Vdd", "Vth", "active-drowsy", "drowsy-sleep", "CD")
+		for _, tech := range power.Technologies() {
+			a, b, err := tech.InflectionPoints()
+			if err != nil {
+				return err
+			}
+			t.MustAddRow(tech.Name,
+				fmt.Sprintf("%.1f", tech.Vdd), fmt.Sprintf("%.4f", tech.Vth),
+				fmt.Sprintf("%d", int(math.Round(a))),
+				fmt.Sprintf("%d", int(math.Round(b))),
+				fmt.Sprintf("%.1f", tech.CD))
+		}
+		return t.Render(os.Stdout)
+	}
+	tech := power.Technology{
+		Name:      "custom",
+		PActive:   pa,
+		PDrowsy:   pd,
+		PSleep:    ps,
+		CD:        cd,
+		Durations: dur,
+	}
+	a, b, err := tech.InflectionPoints()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("active-drowsy inflection: %.0f cycles\n", a)
+	fmt.Printf("drowsy-sleep inflection:  %.1f cycles\n", b)
+	fmt.Printf("policy: active on (0,%.0f], drowsy on (%.0f,%.1f], sleep on (%.1f,+inf)\n", a, a, b, b)
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"leakbound/internal/power"
+)
+
+func TestRunBuiltinTable(t *testing.T) {
+	if err := run(0, 0, 0, 0, power.PaperDurations()); err != nil {
+		t.Fatalf("built-in table failed: %v", err)
+	}
+}
+
+func TestRunCustomParameters(t *testing.T) {
+	if err := run(0.8, 0.8/3, 0.008, 250, power.PaperDurations()); err != nil {
+		t.Fatalf("custom parameters failed: %v", err)
+	}
+}
+
+func TestRunRejectsDegenerate(t *testing.T) {
+	// Drowsy power below sleep power: no crossover exists.
+	if err := run(0.8, 0.001, 0.01, 250, power.PaperDurations()); err == nil {
+		t.Error("degenerate parameters accepted")
+	}
+	// Invalid durations.
+	if err := run(0.8, 0.8/3, 0.008, 250, power.Durations{}); err == nil {
+		t.Error("zero durations accepted")
+	}
+}

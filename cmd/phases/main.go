@@ -1,0 +1,76 @@
+// Command phases runs the SimPoint-style phase analysis (BBV + k-means) on
+// a benchmark and prints the discovered phases with their weights and
+// representative windows — the methodology step the paper uses (via
+// SimPoint) to pick simulation windows.
+//
+// Usage:
+//
+//	phases -bench gcc [-scale 0.2] [-window 100000] [-k 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"leakbound/internal/report"
+	"leakbound/internal/simpoint"
+	"leakbound/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark: "+strings.Join(workload.Names(), ", "))
+	scale := flag.Float64("scale", 0.2, "workload scale")
+	window := flag.Int("window", 100000, "instructions per BBV window")
+	k := flag.Int("k", 6, "maximum number of phases")
+	flag.Parse()
+
+	if err := run(*bench, *scale, *window, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "phases:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, scale float64, window, k int) error {
+	w, err := workload.New(bench, scale)
+	if err != nil {
+		return err
+	}
+	res, err := simpoint.PickSimPoints(w, window, k)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Phases of %s (window %d instructions, k<=%d)", bench, window, k),
+		"phase", "weight", "windows", "representative window")
+	for i, p := range res.Phases {
+		t.MustAddRow(
+			fmt.Sprintf("%d", i),
+			report.Pct(p.Weight),
+			fmt.Sprintf("%d", p.Size),
+			fmt.Sprintf("#%d (instr %d..%d)", p.Representative,
+				p.Representative*window, (p.Representative+1)*window),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// A compact phase timeline: one character per window.
+	fmt.Println("\ntimeline (one symbol per window):")
+	const symbols = "0123456789abcdefghijklmnop"
+	var b strings.Builder
+	for i, ph := range res.Assignment {
+		if i > 0 && i%80 == 0 {
+			b.WriteByte('\n')
+		}
+		if ph < len(symbols) {
+			b.WriteByte(symbols[ph])
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	fmt.Println(b.String())
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates a synthetic benchmark's timed cache access
+// trace and writes it in leakbound's binary trace format, or summarizes an
+// existing trace file.
+//
+// Usage:
+//
+//	tracegen -bench ammp -cache D -o ammp_d.trc [-scale 0.2]
+//	tracegen -summarize ammp_d.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/cpu"
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark to trace")
+	side := flag.String("cache", "D", "which cache to trace: I, D, or L2")
+	out := flag.String("o", "", "output file (required unless -summarize)")
+	scale := flag.Float64("scale", 0.2, "workload scale")
+	summarize := flag.String("summarize", "", "summarize an existing trace file instead of generating")
+	flag.Parse()
+
+	var err error
+	if *summarize != "" {
+		err = runSummarize(*summarize)
+	} else {
+		err = runGenerate(*bench, *side, *out, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func cacheID(side string) (trace.CacheID, error) {
+	switch side {
+	case "I":
+		return trace.L1I, nil
+	case "D":
+		return trace.L1D, nil
+	case "L2":
+		return trace.L2, nil
+	default:
+		return 0, fmt.Errorf("unknown cache %q (want I, D, or L2)", side)
+	}
+}
+
+func runGenerate(bench, side, out string, scale float64) error {
+	if out == "" {
+		return fmt.Errorf("missing -o output file")
+	}
+	id, err := cacheID(side)
+	if err != nil {
+		return err
+	}
+	w, err := workload.New(bench, scale)
+	if err != nil {
+		return err
+	}
+	hier, err := cache.NewHierarchy(cache.AlphaLike())
+	if err != nil {
+		return err
+	}
+	stream, res, err := cpu.RunToStream(w, hier, cpu.DefaultConfig(), id)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, stream); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d %s events over %d cycles -> %s\n",
+		bench, stream.Len(), id, res.Cycles, out)
+	return nil
+}
+
+func runSummarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	var misses, loads, stores, fetches uint64
+	frames := map[uint32]struct{}{}
+	for _, e := range s.Events {
+		if e.Miss {
+			misses++
+		}
+		switch e.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		case trace.Fetch:
+			fetches++
+		}
+		frames[e.Frame] = struct{}{}
+	}
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  events:  %d (%d fetches, %d loads, %d stores)\n", s.Len(), fetches, loads, stores)
+	fmt.Printf("  cycles:  %d\n", s.TotalCycles)
+	fmt.Printf("  frames:  %d touched of %d\n", len(frames), s.NumFrames)
+	if s.Len() > 0 {
+		fmt.Printf("  misses:  %d (%.2f%%)\n", misses, 100*float64(misses)/float64(s.Len()))
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leakbound/internal/sim/trace"
+)
+
+func TestGenerateAndSummarize(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trc")
+	if err := runGenerate("gzip", "D", out, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSummarize(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateICacheAndL2(t *testing.T) {
+	dir := t.TempDir()
+	for _, side := range []string{"I", "L2"} {
+		out := filepath.Join(dir, side+".trc")
+		if err := runGenerate("ammp", side, out, 0.02); err != nil {
+			t.Fatalf("%s: %v", side, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := runGenerate("gzip", "D", "", 0.02); err == nil {
+		t.Error("missing output accepted")
+	}
+	if err := runGenerate("gzip", "Q", "x.trc", 0.02); err == nil {
+		t.Error("unknown cache accepted")
+	}
+	if err := runGenerate("nope", "D", "x.trc", 0.02); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := runSummarize(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCacheID(t *testing.T) {
+	for side, want := range map[string]trace.CacheID{"I": trace.L1I, "D": trace.L1D, "L2": trace.L2} {
+		got, err := cacheID(side)
+		if err != nil || got != want {
+			t.Errorf("cacheID(%q) = %v, %v", side, got, err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module leakbound
+
+go 1.22

@@ -1,0 +1,141 @@
+package experiments
+
+// Optional on-disk caching of per-benchmark simulation products. The
+// simulations are deterministic, so a (benchmark, scale, format-version)
+// key fully identifies the result; repeated experiment runs — and
+// cross-session parameter sweeps — then skip straight to policy
+// evaluation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/prefetch"
+	"leakbound/internal/sim/cpu"
+)
+
+// cacheVersion invalidates old cache entries whenever the simulator,
+// workloads, or the distribution format change behaviourally.
+const cacheVersion = 3
+
+// WithCacheDir enables disk caching under dir for all subsequent Data
+// calls. Passing the empty string disables caching (the default).
+func (s *Suite) WithCacheDir(dir string) *Suite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheDir = dir
+	return s
+}
+
+// cacheMeta is the JSON sidecar holding everything but the distributions.
+type cacheMeta struct {
+	Version int
+	Name    string
+	Scale   float64
+	Result  cpu.Result
+	IEngine prefetch.EngineStats
+	DEngine prefetch.EngineStats
+}
+
+func (s *Suite) cacheKey(name string) string {
+	return fmt.Sprintf("%s_%g_v%d", name, s.scale, cacheVersion)
+}
+
+// loadCached returns the cached benchmark data, or nil if absent/invalid.
+func (s *Suite) loadCached(name string) *BenchmarkData {
+	if s.cacheDir == "" {
+		return nil
+	}
+	base := filepath.Join(s.cacheDir, s.cacheKey(name))
+	metaRaw, err := os.ReadFile(base + ".json")
+	if err != nil {
+		return nil
+	}
+	var meta cacheMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return nil
+	}
+	if meta.Version != cacheVersion || meta.Name != name || meta.Scale != s.scale {
+		return nil
+	}
+	load := func(suffix string) *interval.Distribution {
+		f, err := os.Open(base + suffix)
+		if err != nil {
+			return nil
+		}
+		defer f.Close()
+		d, err := interval.ReadDistribution(f)
+		if err != nil {
+			return nil
+		}
+		return d
+	}
+	iDist := load(".icache")
+	dDist := load(".dcache")
+	l2Dist := load(".l2")
+	if iDist == nil || dDist == nil || l2Dist == nil {
+		return nil
+	}
+	// Sanity: the cached distributions must be mutually consistent.
+	if iDist.TotalCycles != meta.Result.Cycles || dDist.TotalCycles != meta.Result.Cycles {
+		return nil
+	}
+	return &BenchmarkData{
+		Name: name, Result: meta.Result,
+		ICache: iDist, DCache: dDist, L2Cache: l2Dist,
+		IEngine: meta.IEngine, DEngine: meta.DEngine,
+	}
+}
+
+// storeCached best-effort persists the benchmark data; failures are
+// silently ignored (the cache is an optimization, not a dependency).
+func (s *Suite) storeCached(d *BenchmarkData) {
+	if s.cacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.cacheDir, 0o755); err != nil {
+		return
+	}
+	base := filepath.Join(s.cacheDir, s.cacheKey(d.Name))
+	meta := cacheMeta{
+		Version: cacheVersion, Name: d.Name, Scale: s.scale,
+		Result: d.Result, IEngine: d.IEngine, DEngine: d.DEngine,
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return
+	}
+	store := func(suffix string, dist *interval.Distribution) bool {
+		f, err := os.Create(base + suffix + ".tmp")
+		if err != nil {
+			return false
+		}
+		if err := interval.WriteDistribution(f, dist); err != nil {
+			f.Close()
+			os.Remove(base + suffix + ".tmp")
+			return false
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(base + suffix + ".tmp")
+			return false
+		}
+		return os.Rename(base+suffix+".tmp", base+suffix) == nil
+	}
+	if !store(".icache", d.ICache) || !store(".dcache", d.DCache) || !store(".l2", d.L2Cache) {
+		return
+	}
+	// The JSON sidecar goes last: its presence marks the entry complete.
+	tmp := base + ".json.tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, base+".json")
+}
+
+// osWriteFileHelper is a test seam for corrupting cache entries.
+func osWriteFileHelper(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

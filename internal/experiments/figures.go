@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+	"leakbound/internal/prefetch"
+	"leakbound/internal/report"
+	"leakbound/internal/stats"
+)
+
+// Figure7Thetas is the sweep of minimum sleep interval lengths the paper
+// plots: from the 70nm drowsy-sleep inflection point up to 10000 cycles.
+func Figure7Thetas() []uint64 {
+	return []uint64{1057, 1200, 1500, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
+}
+
+// Figure7 compares the pure sleep method against the hybrid (sleep+drowsy)
+// method while sweeping the minimum interval length that may be put to
+// sleep. Results are averaged across all benchmarks, as in the paper.
+// iCache selects Figure 7(a) (instruction cache) vs 7(b) (data cache).
+func Figure7(s *Suite, iCache bool) (sleep, hybrid *report.Series, err error) {
+	all, err := s.All()
+	if err != nil {
+		return nil, nil, err
+	}
+	tech := power.Default()
+	sleep = &report.Series{Name: "Sleep"}
+	hybrid = &report.Series{Name: "Sleep+Drowsy"}
+	for _, theta := range Figure7Thetas() {
+		var sSum, hSum float64
+		for _, bd := range all {
+			dist := bd.ICache
+			if !iCache {
+				dist = bd.DCache
+			}
+			sEv, err := leakage.Evaluate(tech, dist, leakage.OPTSleep{Theta: theta})
+			if err != nil {
+				return nil, nil, err
+			}
+			hEv, err := leakage.Evaluate(tech, dist, leakage.OPTHybrid{SleepTheta: theta})
+			if err != nil {
+				return nil, nil, err
+			}
+			sSum += sEv.Savings
+			hSum += hEv.Savings
+		}
+		n := float64(len(all))
+		sleep.Add(float64(theta), sSum/n)
+		hybrid.Add(float64(theta), hSum/n)
+	}
+	return sleep, hybrid, nil
+}
+
+// Figure8Policies returns the six schemes of Figure 8 in bar order.
+func Figure8Policies() []leakage.Policy {
+	return []leakage.Policy{
+		leakage.OPTDrowsy{},
+		leakage.SleepDecay{Theta: 10000},
+		leakage.OPTSleep{Theta: 10000},
+		leakage.OPTHybrid{},
+		leakage.PrefetchA(),
+		leakage.PrefetchB(),
+	}
+}
+
+// Figure8Row holds one benchmark's (or the average's) savings per scheme.
+type Figure8Row struct {
+	Benchmark string
+	// Savings is keyed by policy name, in Figure8Policies order.
+	Savings []float64
+}
+
+// Figure8 evaluates the six schemes on every benchmark plus the average,
+// for one cache side, at 70nm.
+func Figure8(s *Suite, iCache bool) ([]Figure8Row, error) {
+	all, err := s.All()
+	if err != nil {
+		return nil, err
+	}
+	tech := power.Default()
+	policies := Figure8Policies()
+	rows := make([]Figure8Row, 0, len(all)+1)
+	avg := make([]float64, len(policies))
+	for _, bd := range all {
+		dist := bd.ICache
+		if !iCache {
+			dist = bd.DCache
+		}
+		row := Figure8Row{Benchmark: bd.Name, Savings: make([]float64, len(policies))}
+		for i, p := range policies {
+			ev, err := leakage.Evaluate(tech, dist, p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", bd.Name, p.Name(), err)
+			}
+			row.Savings[i] = ev.Savings
+			avg[i] += ev.Savings / float64(len(all))
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, Figure8Row{Benchmark: "average", Savings: avg})
+	return rows, nil
+}
+
+// Figure8Table renders Figure 8 as a table (benchmarks x schemes).
+func Figure8Table(s *Suite, iCache bool) (*report.Table, error) {
+	rows, err := Figure8(s, iCache)
+	if err != nil {
+		return nil, err
+	}
+	side := "(a) Instruction Cache"
+	if !iCache {
+		side = "(b) Data Cache"
+	}
+	headers := []string{"benchmark"}
+	for _, p := range Figure8Policies() {
+		headers = append(headers, p.Name())
+	}
+	t := report.NewTable("Figure 8"+side+": leakage power savings per scheme", headers...)
+	for _, r := range rows {
+		cells := []string{r.Benchmark}
+		for _, v := range r.Savings {
+			cells = append(cells, report.Pct(v))
+		}
+		t.MustAddRow(cells...)
+	}
+	return t, nil
+}
+
+// Figure9 computes the prefetchability breakdown of cache access intervals
+// by length regime, aggregated over all benchmarks, for one cache side.
+// The paper reports next-line prefetchability of 23% for the instruction
+// cache, and 16.3% next-line + 5.1% stride for the data cache.
+func Figure9(s *Suite, iCache bool) (prefetch.Prefetchability, error) {
+	iDist, dDist, err := s.MergedDistributions()
+	if err != nil {
+		return prefetch.Prefetchability{}, err
+	}
+	dist := iDist
+	if !iCache {
+		dist = dDist
+	}
+	a, b, err := power.Default().InflectionPoints()
+	if err != nil {
+		return prefetch.Prefetchability{}, err
+	}
+	return prefetch.Analyze(dist, a, b), nil
+}
+
+// Figure9Table renders the Figure 9 breakdown.
+func Figure9Table(s *Suite, iCache bool) (*report.Table, error) {
+	p, err := Figure9(s, iCache)
+	if err != nil {
+		return nil, err
+	}
+	side := "(a) Instruction Cache"
+	if !iCache {
+		side = "(b) Data Cache"
+	}
+	t := report.NewTable("Figure 9"+side+": prefetchability of intervals",
+		"regime", "share of intervals", "P-NL", "P-stride")
+	total := float64(p.Total())
+	if total == 0 {
+		return nil, fmt.Errorf("experiments: no interior intervals for Figure 9")
+	}
+	t.MustAddRow(fmt.Sprintf("(0, %.0f]", p.A),
+		report.Pct(float64(p.ShortCount)/total), "-", "-")
+	t.MustAddRow(fmt.Sprintf("(%.0f, %.0f]", p.A, p.B),
+		report.Pct(float64(p.MidCount)/total),
+		report.Pct(float64(p.MidNL)/total),
+		report.Pct(float64(p.MidStride)/total))
+	t.MustAddRow(fmt.Sprintf("(%.0f, +inf)", p.B),
+		report.Pct(float64(p.LongCount)/total),
+		report.Pct(float64(p.LongNL)/total),
+		report.Pct(float64(p.LongStride)/total))
+	t.MustAddRow("total prefetchable",
+		report.Pct(p.PrefetchableShare()),
+		report.Pct(p.NLShare()),
+		report.Pct(p.StrideShare()))
+	return t, nil
+}
+
+// Figure10Lengths returns log-spaced interval lengths spanning the three
+// regimes at 70nm, for sampling the energy envelope.
+func Figure10Lengths() []float64 {
+	var out []float64
+	for l := 1.0; l <= 1e5; l *= 1.5 {
+		out = append(out, math.Round(l))
+	}
+	return out
+}
+
+// Figure10 samples the three per-mode energy curves and their lower
+// envelope (the E(Ii, Tj) function of the appendix) at 70nm.
+func Figure10() ([]leakage.EnvelopePoint, error) {
+	tech := power.Default()
+	m := leakage.NewModel(tech)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m.EnvelopeSeries(Figure10Lengths()), nil
+}
+
+// Figure10Table renders Figure 10 as a table of energies per mode; +Inf
+// cells (mode does not fit) render as "-".
+func Figure10Table() (*report.Table, error) {
+	pts, err := Figure10()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 10: energy per interval length and operating mode (70nm, model units)",
+		"interval", "active", "drowsy", "sleep", "envelope", "best mode")
+	fm := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, p := range pts {
+		t.MustAddRow(
+			fmt.Sprintf("%.0f", p.Length),
+			fm(p.Active), fm(p.Drowsy), fm(p.Sleep), fm(p.Minimum),
+			p.Best.String(),
+		)
+	}
+	return t, nil
+}
+
+// GapToOptimal reports the paper's Section 5.2 headline: how close
+// Prefetch-B comes to OPT-Hybrid, for one cache side (paper: within 5.3%
+// for the instruction cache, 6.7% for the data cache).
+func GapToOptimal(s *Suite, iCache bool) (prefetchB, optHybrid, gap float64, err error) {
+	rows, err := Figure8(s, iCache)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	avg := rows[len(rows)-1]
+	policies := Figure8Policies()
+	for i, p := range policies {
+		switch p.Name() {
+		case "OPT-Hybrid":
+			optHybrid = avg.Savings[i]
+		case "Prefetch-B":
+			prefetchB = avg.Savings[i]
+		}
+	}
+	return prefetchB, optHybrid, optHybrid - prefetchB, nil
+}
+
+// MassProfile summarizes a distribution's interval mass by the regimes the
+// study cares about; used in EXPERIMENTS.md and diagnostics.
+func MassProfile(d *interval.Distribution) map[string]float64 {
+	total := float64(d.Mass())
+	if total == 0 {
+		return nil
+	}
+	share := func(lo, hi float64) float64 {
+		return float64(d.MassWhere(func(l uint64, f interval.Flags) bool {
+			return float64(l) > lo && float64(l) <= hi
+		})) / total
+	}
+	return map[string]float64{
+		"(0,6]":       share(0, 6),
+		"(6,1057]":    share(6, 1057),
+		"(1057,10K]":  share(1057, 10000),
+		"(10K,103K]":  share(10000, 103084),
+		"(103K,+inf)": share(103084, math.Inf(1)),
+	}
+}
+
+// IntervalStats summarizes a distribution's interior interval lengths: a
+// moment summary plus a log2-bucketed histogram, the diagnostic view
+// cmd/leakagesim prints alongside policy savings.
+func IntervalStats(d *interval.Distribution) (*stats.Summary, *stats.Histogram, error) {
+	h, err := stats.NewLogHistogram(1, 1<<24, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	var s stats.Summary
+	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
+		if !flags.Interior() {
+			return true
+		}
+		s.AddN(float64(length), int64(count))
+		h.AddN(float64(length), int64(count))
+		return true
+	})
+	return &s, h, nil
+}
+
+// IntervalStatsTable renders the histogram as regime rows with count and
+// mass shares.
+func IntervalStatsTable(title string, d *interval.Distribution) (*report.Table, error) {
+	s, h, err := IntervalStats(d)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(title, "interval length", "count share", "mass share")
+	if h.Total() == 0 {
+		return nil, fmt.Errorf("experiments: no interior intervals")
+	}
+	bounds, counts := h.Buckets()
+	lower := 0.0
+	totalMass := h.WeightedTotal()
+	// Mass per bucket needs a second pass keyed by the same bounds.
+	massH, err := stats.NewLogHistogram(1, 1<<24, 2)
+	if err != nil {
+		return nil, err
+	}
+	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
+		if flags.Interior() {
+			massH.AddN(float64(length), int64(length*count))
+		}
+		return true
+	})
+	_, masses := massH.Buckets()
+	for i, b := range bounds {
+		if counts[i] == 0 {
+			lower = b
+			continue
+		}
+		label := fmt.Sprintf("(%.0f, %.0f]", lower, b)
+		if math.IsInf(b, 1) {
+			label = fmt.Sprintf("(%.0f, +inf)", lower)
+		}
+		t.MustAddRow(label,
+			report.Pct(float64(counts[i])/float64(h.Total())),
+			report.Pct(float64(masses[i])/totalMass))
+		lower = b
+	}
+	t.MustAddRow("summary",
+		fmt.Sprintf("n=%d", s.N()),
+		fmt.Sprintf("mean %.0f, max %.0f", s.Mean(), s.Max()))
+	return t, nil
+}

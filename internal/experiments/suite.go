@@ -1,0 +1,253 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4 and 5): Table 1 (inflection points), Table 2
+// (technology scaling), Table 3 (prefetch scheme definitions), Figure 1
+// (ITRS projection), Figure 7 (hybrid vs sleep sweep), Figure 8 (scheme
+// comparison per benchmark), Figure 9 (prefetchability), and Figure 10
+// (the energy lower envelope).
+//
+// A Suite simulates each benchmark once — through the Alpha-like hierarchy,
+// with prefetch classifiers attached — and caches the flagged interval
+// distributions; every experiment then evaluates policies over those
+// distributions, exactly as the limit study separates trace collection from
+// policy analysis.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/prefetch"
+	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/cpu"
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
+)
+
+// BenchmarkData holds one benchmark's simulation products.
+type BenchmarkData struct {
+	Name   string
+	Result cpu.Result
+	// ICache and DCache are the flagged interval distributions for the two
+	// L1 caches (the study's subjects).
+	ICache *interval.Distribution
+	DCache *interval.Distribution
+	// L2Cache is the unified L2's distribution — not part of the paper's
+	// study, collected for the L2 extension experiment. Its events are
+	// L1 misses only, so most of its 32768 frames idle for very long
+	// stretches.
+	L2Cache *interval.Distribution
+	// IEngine and DEngine are the hardware prefetch engines' statistics
+	// over the same run: the implementable counterpart of the oracle
+	// prefetchability flags (Section 5's premise that next-line + stride
+	// capture most misses).
+	IEngine prefetch.EngineStats
+	DEngine prefetch.EngineStats
+}
+
+// Suite lazily simulates benchmarks at a fixed scale and caches results.
+// It is safe for concurrent use.
+type Suite struct {
+	scale float64
+
+	mu       sync.Mutex
+	data     map[string]*BenchmarkData
+	cacheDir string // optional on-disk cache (see diskcache.go)
+}
+
+// DefaultScale is the workload scale used by the experiment binaries: the
+// full study length (roughly 5-10M instructions per benchmark, a few
+// million simulated cycles — comfortably above the 180nm inflection point
+// of 103084 cycles).
+const DefaultScale = 1.0
+
+// NewSuite creates a suite; scale stretches benchmark lengths (1.0 = the
+// study length, smaller for tests).
+func NewSuite(scale float64) (*Suite, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive scale %g", scale)
+	}
+	return &Suite{scale: scale, data: make(map[string]*BenchmarkData)}, nil
+}
+
+// MustNewSuite is NewSuite that panics on bad input.
+func MustNewSuite(scale float64) *Suite {
+	s, err := NewSuite(scale)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Scale returns the suite's workload scale.
+func (s *Suite) Scale() float64 { return s.scale }
+
+// Data returns the simulation products for one benchmark, simulating on
+// first use.
+func (s *Suite) Data(name string) (*BenchmarkData, error) {
+	s.mu.Lock()
+	if d, ok := s.data[name]; ok {
+		s.mu.Unlock()
+		return d, nil
+	}
+	s.mu.Unlock()
+
+	d := s.loadCached(name)
+	if d == nil {
+		var err error
+		d, err = simulate(name, s.scale)
+		if err != nil {
+			return nil, err
+		}
+		s.storeCached(d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.data[name]; ok {
+		return prev, nil // another goroutine won the race; results are identical
+	}
+	s.data[name] = d
+	return d, nil
+}
+
+// All simulates (in parallel) and returns every benchmark in presentation
+// order.
+func (s *Suite) All() ([]*BenchmarkData, error) {
+	names := workload.Names()
+	out := make([]*BenchmarkData, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = s.Data(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
+		}
+	}
+	return out, nil
+}
+
+// simulate runs one benchmark through the paper's machine configuration and
+// collects flagged interval distributions for both L1 caches.
+func simulate(name string, scale float64) (*BenchmarkData, error) {
+	w, err := workload.New(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cache.AlphaLike())
+	if err != nil {
+		return nil, err
+	}
+	iClass, err := prefetch.NewClassifier(prefetch.ForICache())
+	if err != nil {
+		return nil, err
+	}
+	dClass, err := prefetch.NewClassifier(prefetch.ForDCache())
+	if err != nil {
+		return nil, err
+	}
+	iCol, err := interval.NewCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass)
+	if err != nil {
+		return nil, err
+	}
+	dCol, err := interval.NewCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass)
+	if err != nil {
+		return nil, err
+	}
+	l2Col, err := interval.NewCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil)
+	if err != nil {
+		return nil, err
+	}
+	iEng, err := prefetch.NewEngine(prefetch.DefaultEngineConfig(prefetch.ForICache()))
+	if err != nil {
+		return nil, err
+	}
+	dEng, err := prefetch.NewEngine(prefetch.DefaultEngineConfig(prefetch.ForDCache()))
+	if err != nil {
+		return nil, err
+	}
+	var sinkErr error
+	res, err := cpu.Run(w, hier, cpu.DefaultConfig(), func(e trace.Event) {
+		if sinkErr != nil {
+			return
+		}
+		switch e.Cache {
+		case trace.L1I:
+			sinkErr = iCol.Add(e)
+			iEng.Access(e)
+		case trace.L1D:
+			sinkErr = dCol.Add(e)
+			dEng.Access(e)
+		case trace.L2:
+			sinkErr = l2Col.Add(e)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("experiments: collecting %s: %w", name, sinkErr)
+	}
+	iDist, err := iCol.Finish(res.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	dDist, err := dCol.Finish(res.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	l2Dist, err := l2Col.Finish(res.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchmarkData{
+		Name: name, Result: res,
+		ICache: iDist, DCache: dDist, L2Cache: l2Dist,
+		IEngine: iEng.Finish(), DEngine: dEng.Finish(),
+	}, nil
+}
+
+// MergedDistributions returns suite-wide merged I- and D-cache
+// distributions (used by Figure 9's aggregate prefetchability).
+func (s *Suite) MergedDistributions() (iDist, dDist *interval.Distribution, err error) {
+	all, err := s.All()
+	if err != nil {
+		return nil, nil, err
+	}
+	iDist = interval.NewDistribution(0, 0)
+	dDist = interval.NewDistribution(0, 0)
+	for _, d := range all {
+		if err := iDist.Merge(d.ICache); err != nil {
+			return nil, nil, err
+		}
+		if err := dDist.Merge(d.DCache); err != nil {
+			return nil, nil, err
+		}
+	}
+	return iDist, dDist, nil
+}
+
+// SortedNames returns the benchmark names the suite has simulated so far;
+// primarily for diagnostics.
+func (s *Suite) SortedNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.data))
+	for n := range s.data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// cacheAlphaLike and traceL1D re-export fixed values for tests in this
+// package without extra imports in every file.
+func cacheAlphaLike() cache.HierarchyConfig { return cache.AlphaLike() }
+func traceL1D() trace.CacheID               { return trace.L1D }

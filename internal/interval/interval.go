@@ -1,0 +1,371 @@
+// Package interval implements the cache access interval analysis at the
+// heart of the limit study (Section 3.1 of the paper): breaking each cache
+// frame's lifetime into the stretches between consecutive accesses, and
+// summarizing those stretches into a compact distribution that the policy
+// engine (internal/leakage) evaluates.
+//
+// An interval is attributed to a physical cache frame — leakage is per
+// line of SRAM, regardless of which memory block occupies it — and a
+// frame's timeline decomposes exactly as:
+//
+//	leading gap (cycle 0 .. first access)
+//	interior intervals (access .. next access)
+//	trailing gap (last access .. end of simulation)
+//
+// so the summed lengths over a frame always equal the simulated cycle
+// count, which is the package's central conservation invariant.
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"leakbound/internal/sim/trace"
+)
+
+// Flags annotate an interval with properties the policies care about.
+type Flags uint8
+
+const (
+	// NLPrefetchable marks an interior interval whose closing access was
+	// predictable by next-line prefetching (Section 5.1: an access to the
+	// preceding cache line occurred within the interval).
+	NLPrefetchable Flags = 1 << iota
+	// StridePrefetchable marks an interval predictable by per-PC
+	// stride prefetching (Farkas-style: same stride seen at least twice).
+	StridePrefetchable
+	// Leading marks the gap from cycle 0 to a frame's first access. Its
+	// re-fetch is the compulsory fill the baseline pays too, so sleep
+	// policies close it without the induced-miss energy.
+	Leading
+	// Trailing marks the gap from a frame's last access to the end of the
+	// simulation; nothing re-fetches after it.
+	Trailing
+	// Dirty marks an interval during which the frame held modified data:
+	// gating the line (sleep) first requires a write-back, which costs
+	// dynamic energy. State-preserving drowsy mode does not. The paper
+	// does not model this cost; leakbound tracks it as an extension
+	// (see the write-back ablation in EXPERIMENTS.md).
+	Dirty
+	// DeadEnd marks an interval closed by a miss: the block that rested
+	// in the frame during the gap was never referenced again (it was
+	// evicted by the closing fill), so the gap was a dead period in the
+	// cache-decay sense (Section 3.1's live/dead distinction). The paper
+	// argues dead periods add little beyond interval length for an
+	// optimal policy; the live/dead experiment verifies that claim.
+	DeadEnd
+)
+
+// Untouched marks a frame that was never accessed: one full-length gap.
+const Untouched = Leading | Trailing
+
+// Prefetchable reports whether either prefetch flag is set.
+func (f Flags) Prefetchable() bool {
+	return f&(NLPrefetchable|StridePrefetchable) != 0
+}
+
+// Interior reports whether the interval is a true access-to-access
+// interval (neither leading nor trailing).
+func (f Flags) Interior() bool { return f&(Leading|Trailing) == 0 }
+
+// String implements fmt.Stringer.
+func (f Flags) String() string {
+	if f == 0 {
+		return "interior"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if f&NLPrefetchable != 0 {
+		add("nl")
+	}
+	if f&StridePrefetchable != 0 {
+		add("stride")
+	}
+	if f&Leading != 0 {
+		add("leading")
+	}
+	if f&Trailing != 0 {
+		add("trailing")
+	}
+	if f&Dirty != 0 {
+		add("dirty")
+	}
+	if f&DeadEnd != 0 {
+		add("dead")
+	}
+	return s
+}
+
+// Key identifies one (length, flags) bucket in a distribution.
+type Key struct {
+	Length uint64
+	Flags  Flags
+}
+
+// Distribution is a multiset of intervals, compactly stored as counts per
+// (length, flags). Short lengths — the overwhelming majority — live in a
+// dense table; the long tail in a map.
+type Distribution struct {
+	NumFrames   uint32
+	TotalCycles uint64
+
+	dense  []uint64 // index = length*flagSpace + flags, for length < denseLimit
+	sparse map[Key]uint64
+
+	numIntervals uint64 // total recorded intervals (all kinds)
+	mass         uint64 // sum of length*count
+}
+
+const (
+	denseLimit = 8192
+	flagSpace  = 64 // nl|stride|leading|trailing|dirty|deadend fit in 6 bits
+)
+
+// NewDistribution creates an empty distribution for a cache with the given
+// frame count and time horizon.
+func NewDistribution(numFrames uint32, totalCycles uint64) *Distribution {
+	return &Distribution{
+		NumFrames:   numFrames,
+		TotalCycles: totalCycles,
+		dense:       make([]uint64, denseLimit*flagSpace),
+		sparse:      make(map[Key]uint64),
+	}
+}
+
+// Add records count intervals of the given length and flags.
+func (d *Distribution) Add(length uint64, flags Flags, count uint64) {
+	if count == 0 || length == 0 {
+		return
+	}
+	d.numIntervals += count
+	d.mass += length * count
+	if length < denseLimit {
+		d.dense[length*flagSpace+uint64(flags)] += count
+		return
+	}
+	d.sparse[Key{Length: length, Flags: flags}] += count
+}
+
+// NumIntervals returns the number of recorded intervals.
+func (d *Distribution) NumIntervals() uint64 { return d.numIntervals }
+
+// Mass returns the summed interval lengths (frame-cycles). When the
+// distribution was built by a Collector, Mass == NumFrames * TotalCycles.
+func (d *Distribution) Mass() uint64 { return d.mass }
+
+// Each calls fn for every (length, flags, count) bucket in deterministic
+// order (ascending length, then flags). Iteration stops if fn returns
+// false.
+func (d *Distribution) Each(fn func(length uint64, flags Flags, count uint64) bool) {
+	for length := uint64(1); length < denseLimit; length++ {
+		base := length * flagSpace
+		for f := uint64(0); f < flagSpace; f++ {
+			if c := d.dense[base+f]; c > 0 {
+				if !fn(length, Flags(f), c) {
+					return
+				}
+			}
+		}
+	}
+	keys := make([]Key, 0, len(d.sparse))
+	for k := range d.sparse {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Length != keys[j].Length {
+			return keys[i].Length < keys[j].Length
+		}
+		return keys[i].Flags < keys[j].Flags
+	})
+	for _, k := range keys {
+		if !fn(k.Length, k.Flags, d.sparse[k]) {
+			return
+		}
+	}
+}
+
+// Merge folds other into d. Frame counts add (union of disjoint caches is
+// not meaningful, so Merge is intended for same-shape runs, e.g. averaging
+// benchmarks); time horizons must match for mass bookkeeping to stay
+// interpretable, and an error is returned when they differ.
+func (d *Distribution) Merge(other *Distribution) error {
+	if other == nil {
+		return errors.New("interval: merge with nil distribution")
+	}
+	d.NumFrames += other.NumFrames
+	if d.TotalCycles < other.TotalCycles {
+		d.TotalCycles = other.TotalCycles
+	}
+	other.Each(func(length uint64, flags Flags, count uint64) bool {
+		d.Add(length, flags, count)
+		return true
+	})
+	return nil
+}
+
+// Count returns the number of intervals matching the predicate.
+func (d *Distribution) Count(pred func(length uint64, flags Flags) bool) uint64 {
+	var n uint64
+	d.Each(func(length uint64, flags Flags, count uint64) bool {
+		if pred(length, flags) {
+			n += count
+		}
+		return true
+	})
+	return n
+}
+
+// MassWhere returns the summed lengths of intervals matching the predicate.
+func (d *Distribution) MassWhere(pred func(length uint64, flags Flags) bool) uint64 {
+	var m uint64
+	d.Each(func(length uint64, flags Flags, count uint64) bool {
+		if pred(length, flags) {
+			m += length * count
+		}
+		return true
+	})
+	return m
+}
+
+// Classifier flags interval closings for prefetchability. Implementations
+// live in internal/prefetch; the zero classifier (nil) flags nothing.
+type Classifier interface {
+	// Classify is called when an access at event e closes an interval that
+	// opened at cycle start, before Observe sees e. It returns the
+	// prefetch flags for that interval.
+	Classify(e trace.Event, start uint64) Flags
+	// Observe is called for every access in stream order so the
+	// classifier can maintain its prediction tables.
+	Observe(e trace.Event)
+}
+
+// Collector builds a Distribution from a timed access stream for one cache.
+type Collector struct {
+	cache      trace.CacheID
+	numFrames  uint32
+	classifier Classifier
+
+	lastAccess []uint64 // per frame; access cycle + 1 (0 = never accessed)
+	dirty      []bool   // per frame; true if the resident block is modified
+	dist       *Distribution
+	finished   bool
+	lastCycle  uint64
+}
+
+// NewCollector creates a collector for the given cache with numFrames
+// physical lines. classifier may be nil.
+func NewCollector(cacheID trace.CacheID, numFrames uint32, classifier Classifier) (*Collector, error) {
+	if !cacheID.Valid() {
+		return nil, fmt.Errorf("interval: invalid cache id %d", cacheID)
+	}
+	if numFrames == 0 {
+		return nil, errors.New("interval: zero frames")
+	}
+	return &Collector{
+		cache:      cacheID,
+		numFrames:  numFrames,
+		classifier: classifier,
+		lastAccess: make([]uint64, numFrames),
+		dirty:      make([]bool, numFrames),
+		dist:       NewDistribution(numFrames, 0),
+	}, nil
+}
+
+// Add consumes one event. Events for other caches are ignored, so a single
+// simulator sink can fan out to several collectors. Events must arrive in
+// non-decreasing cycle order.
+func (c *Collector) Add(e trace.Event) error {
+	if c.finished {
+		return errors.New("interval: Add after Finish")
+	}
+	if e.Cache != c.cache {
+		return nil
+	}
+	if e.Frame >= c.numFrames {
+		return fmt.Errorf("interval: frame %d out of range (have %d)", e.Frame, c.numFrames)
+	}
+	if e.Cycle < c.lastCycle {
+		return fmt.Errorf("interval: event cycle %d before %d", e.Cycle, c.lastCycle)
+	}
+	c.lastCycle = e.Cycle
+
+	prev := c.lastAccess[e.Frame]
+	switch {
+	case prev == 0:
+		// First access: the leading gap runs from cycle 0.
+		if e.Cycle > 0 {
+			c.dist.Add(e.Cycle, Leading, 1)
+		}
+	default:
+		start := prev - 1
+		length := e.Cycle - start
+		if length > 0 {
+			var flags Flags
+			if c.classifier != nil {
+				flags = c.classifier.Classify(e, start) & (NLPrefetchable | StridePrefetchable)
+			}
+			if c.dirty[e.Frame] {
+				flags |= Dirty
+			}
+			if e.Miss {
+				// The closing access replaced the resident block: the gap
+				// was the old block's dead period.
+				flags |= DeadEnd
+			}
+			c.dist.Add(length, flags, 1)
+		}
+	}
+	if c.classifier != nil {
+		c.classifier.Observe(e)
+	}
+	c.lastAccess[e.Frame] = e.Cycle + 1
+	// Track modified state: a store dirties the resident block; a miss
+	// fill replaces it (the eviction write-back, if any, is charged to
+	// the closing interval's Dirty flag above), so dirtiness restarts
+	// from this access's own kind.
+	switch {
+	case e.Miss:
+		c.dirty[e.Frame] = e.Kind == trace.Store
+	case e.Kind == trace.Store:
+		c.dirty[e.Frame] = true
+	}
+	return nil
+}
+
+// Finish closes all trailing gaps at the simulation horizon and returns the
+// distribution. totalCycles must be at least the cycle of the last event.
+func (c *Collector) Finish(totalCycles uint64) (*Distribution, error) {
+	if c.finished {
+		return nil, errors.New("interval: Finish called twice")
+	}
+	if totalCycles < c.lastCycle {
+		return nil, fmt.Errorf("interval: horizon %d before last event %d", totalCycles, c.lastCycle)
+	}
+	c.finished = true
+	c.dist.TotalCycles = totalCycles
+	var untouched uint64
+	for frame, prev := range c.lastAccess {
+		if prev == 0 {
+			untouched++
+			continue
+		}
+		last := prev - 1
+		if totalCycles > last {
+			flags := Trailing
+			if c.dirty[frame] {
+				flags |= Dirty
+			}
+			c.dist.Add(totalCycles-last, flags, 1)
+		}
+	}
+	if untouched > 0 && totalCycles > 0 {
+		c.dist.Add(totalCycles, Untouched, untouched)
+	}
+	return c.dist, nil
+}

@@ -1,0 +1,92 @@
+package leakage
+
+import (
+	"errors"
+
+	"leakbound/internal/power"
+)
+
+// This file transcribes Figure 5 ("the algorithm to compute the optimal
+// leakage power saving") and the appendix's Theorem 1 machinery, operating
+// on a plain set of interval lengths. The streaming evaluator in
+// evaluate.go is the production path; this form exists because the paper
+// presents it, and because tests use it to cross-check the evaluator and to
+// verify the optimality theorem against adversarial mode assignments.
+
+// OptimalLeakageSaving is Figure 5: given a set of interior interval
+// lengths, classify each against the two inflection points and accumulate
+// the energy saved versus leaving the line active. Intervals at or below
+// the active-drowsy point contribute no saving.
+func OptimalLeakageSaving(t power.Technology, intervals []uint64) (totalSaving float64, err error) {
+	a, b, err := t.InflectionPoints()
+	if err != nil {
+		return 0, err
+	}
+	for _, li := range intervals {
+		L := float64(li)
+		switch {
+		case L > b:
+			totalSaving += t.ActiveEnergy(L) - t.SleepEnergy(L) // sleep_saving(|Ii|)
+		case L > a:
+			totalSaving += t.ActiveEnergy(L) - t.DrowsyEnergy(L) // drowsy_saving(|Ii|)
+		default:
+			// no leakage power saving can be obtained
+		}
+	}
+	return totalSaving, nil
+}
+
+// Assignment maps each interval (by index) to an operating mode.
+type Assignment []Mode
+
+// AssignmentEnergy returns the total energy of covering each interval with
+// its assigned mode; infeasible pairs (interval too short for the mode's
+// transitions) fall back to active, mirroring how real hardware would have
+// to behave.
+func AssignmentEnergy(t power.Technology, intervals []uint64, modes Assignment) (float64, error) {
+	if len(intervals) != len(modes) {
+		return 0, errors.New("leakage: assignment length mismatch")
+	}
+	var total float64
+	for i, li := range intervals {
+		e, err := EnergyWithMode(t, float64(li), modes[i])
+		if err != nil {
+			e = t.ActiveEnergy(float64(li))
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// OptimalAssignment returns Theorem 1's per-interval assignment: active on
+// (0,a], drowsy on (a,b], sleep on (b,+inf).
+func OptimalAssignment(t power.Technology, intervals []uint64) (Assignment, error) {
+	out := make(Assignment, len(intervals))
+	for i, li := range intervals {
+		m, err := OptimalMode(t, float64(li))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// VerifyTheorem checks Theorem 1 for one interval set: the optimal
+// assignment's energy must not exceed the given alternative assignment's
+// energy. It returns the two energies for reporting.
+func VerifyTheorem(t power.Technology, intervals []uint64, alternative Assignment) (optimal, alt float64, err error) {
+	opt, err := OptimalAssignment(t, intervals)
+	if err != nil {
+		return 0, 0, err
+	}
+	optimal, err = AssignmentEnergy(t, intervals, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	alt, err = AssignmentEnergy(t, intervals, alternative)
+	if err != nil {
+		return 0, 0, err
+	}
+	return optimal, alt, nil
+}

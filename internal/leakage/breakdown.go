@@ -1,0 +1,121 @@
+package leakage
+
+// Energy breakdown: where the oracle's residual energy goes. Figure 8's
+// bars show a single savings number; this decomposition explains it —
+// how much of the remaining energy is short intervals that must stay
+// active, drowsy retention leakage, mode-transition overhead, induced-miss
+// re-fetches, and residual sleep leakage. The calibration notes in
+// EXPERIMENTS.md are expressed in exactly these terms.
+
+import (
+	"errors"
+	"math"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/power"
+)
+
+// Breakdown decomposes OPT-Hybrid's energy over a distribution. All fields
+// are fractions of the always-active baseline; Savings + the five
+// components sum to 1 (up to rounding).
+type Breakdown struct {
+	// Savings is 1 - total/baseline, as in Evaluation.
+	Savings float64
+	// ActiveShare is energy from intervals too short for any mode.
+	ActiveShare float64
+	// DrowsyShare is retention leakage of drowsed intervals (their rest
+	// portion at PDrowsy).
+	DrowsyShare float64
+	// TransitionShare is the mode-change overhead (entry/wake segments at
+	// active power, for both drowsy and sleep intervals).
+	TransitionShare float64
+	// InducedMissShare is the dynamic CD re-fetch energy of slept
+	// interior intervals (plus write-backs when modelled).
+	InducedMissShare float64
+	// SleepShare is residual leakage of gated intervals at PSleep.
+	SleepShare float64
+}
+
+// Total returns the sum of all component fractions plus savings; always
+// ~1 for a consistent decomposition.
+func (b Breakdown) Total() float64 {
+	return b.Savings + b.ActiveShare + b.DrowsyShare + b.TransitionShare +
+		b.InducedMissShare + b.SleepShare
+}
+
+// HybridBreakdown decomposes the OPT-Hybrid policy's energy over d.
+func HybridBreakdown(t power.Technology, d *interval.Distribution) (Breakdown, error) {
+	if err := t.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if d == nil {
+		return Breakdown{}, errors.New("leakage: nil distribution")
+	}
+	baseline := t.PActive * float64(d.Mass())
+	if baseline == 0 {
+		return Breakdown{}, errors.New("leakage: empty distribution")
+	}
+	a, b, err := t.InflectionPoints()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	dur := t.Durations
+	var out Breakdown
+	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
+		L := float64(length)
+		n := float64(count)
+		switch {
+		case L > b:
+			// Sleep. Edge gaps skip parts of the transition; mirror the
+			// policy's formulas.
+			switch {
+			case flags&interval.Untouched == interval.Untouched:
+				out.SleepShare += n * L * t.PSleep
+			case flags&interval.Leading != 0:
+				wake := float64(dur.S3 + dur.S4)
+				if L < wake {
+					out.ActiveShare += n * t.ActiveEnergy(L)
+					return true
+				}
+				out.TransitionShare += n * wake * t.PActive
+				out.SleepShare += n * (L - wake) * t.PSleep
+			case flags&interval.Trailing != 0:
+				if L < float64(dur.S1) {
+					out.ActiveShare += n * t.ActiveEnergy(L)
+					return true
+				}
+				out.TransitionShare += n * float64(dur.S1) * t.PActive
+				out.SleepShare += n * (L - float64(dur.S1)) * t.PSleep
+				if flags&interval.Dirty != 0 {
+					out.InducedMissShare += n * t.WBEnergy
+				}
+			default:
+				oh := float64(dur.SleepOverhead())
+				out.TransitionShare += n * oh * t.PActive
+				out.SleepShare += n * (L - oh) * t.PSleep
+				out.InducedMissShare += n * t.CD
+				if flags&interval.Dirty != 0 {
+					out.InducedMissShare += n * t.WBEnergy
+				}
+			}
+		case L > a:
+			oh := float64(dur.DrowsyOverhead())
+			out.TransitionShare += n * oh * t.PActive
+			out.DrowsyShare += n * (L - oh) * t.PDrowsy
+		default:
+			out.ActiveShare += n * t.ActiveEnergy(L)
+		}
+		return true
+	})
+	out.ActiveShare /= baseline
+	out.DrowsyShare /= baseline
+	out.TransitionShare /= baseline
+	out.InducedMissShare /= baseline
+	out.SleepShare /= baseline
+	out.Savings = 1 - (out.ActiveShare + out.DrowsyShare + out.TransitionShare +
+		out.InducedMissShare + out.SleepShare)
+	if math.IsNaN(out.Savings) {
+		return Breakdown{}, errors.New("leakage: degenerate breakdown")
+	}
+	return out, nil
+}

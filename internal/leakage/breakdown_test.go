@@ -1,0 +1,88 @@
+package leakage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/power"
+)
+
+func TestHybridBreakdownMatchesEvaluate(t *testing.T) {
+	// The decomposition's implied total energy must equal the policy's
+	// energy exactly, for a mixed distribution including edges and dirt.
+	tech := power.Default()
+	tech.WBEnergy = 120
+	d := interval.NewDistribution(8, 2e6)
+	d.Add(4, 0, 500)
+	d.Add(300, 0, 200)
+	d.Add(2000, 0, 100)
+	d.Add(2000, interval.Dirty, 40)
+	d.Add(90000, interval.Leading, 8)
+	d.Add(90000, interval.Trailing|interval.Dirty, 8)
+	d.Add(2e6, interval.Untouched, 2)
+
+	bd, err := HybridBreakdown(tech, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(tech, d, OPTHybrid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Savings-ev.Savings) > 1e-9 {
+		t.Errorf("breakdown savings %.9f != evaluate %.9f", bd.Savings, ev.Savings)
+	}
+	if math.Abs(bd.Total()-1) > 1e-9 {
+		t.Errorf("components total %.9f, want 1", bd.Total())
+	}
+	// Every component present in this distribution must be non-zero.
+	if bd.ActiveShare <= 0 || bd.DrowsyShare <= 0 || bd.TransitionShare <= 0 ||
+		bd.InducedMissShare <= 0 || bd.SleepShare <= 0 {
+		t.Errorf("missing components: %+v", bd)
+	}
+}
+
+func TestHybridBreakdownProperty(t *testing.T) {
+	tech := power.Default()
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := interval.NewDistribution(4, 0)
+		for i := 0; i < int(nRaw)%40+1; i++ {
+			length := uint64(rng.Intn(300000) + 1)
+			flags := interval.Flags(rng.Intn(32))
+			d.Add(length, flags, uint64(rng.Intn(20)+1))
+		}
+		bd, err := HybridBreakdown(tech, d)
+		if err != nil {
+			return false
+		}
+		ev, err := Evaluate(tech, d, OPTHybrid{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(bd.Savings-ev.Savings) < 1e-9 && math.Abs(bd.Total()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridBreakdownErrors(t *testing.T) {
+	tech := power.Default()
+	if _, err := HybridBreakdown(tech, nil); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := HybridBreakdown(tech, interval.NewDistribution(1, 1)); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	bad := tech
+	bad.PActive = 0
+	d := interval.NewDistribution(1, 10)
+	d.Add(10, 0, 1)
+	if _, err := HybridBreakdown(bad, d); err == nil {
+		t.Error("invalid technology accepted")
+	}
+}

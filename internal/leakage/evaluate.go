@@ -1,0 +1,79 @@
+package leakage
+
+import (
+	"errors"
+	"fmt"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/power"
+)
+
+// Evaluation reports how a policy performed over one interval distribution.
+type Evaluation struct {
+	Policy   string
+	Energy   float64 // leakage + transition + induced-miss energy spent
+	Baseline float64 // energy of the always-active cache over the same span
+	// Savings is the paper's y-axis: the fraction of total leakage power
+	// removed versus a cache whose lines are constantly active.
+	Savings float64
+}
+
+// String renders the evaluation the way the paper quotes numbers.
+func (e Evaluation) String() string {
+	return fmt.Sprintf("%s: %.1f%% leakage savings", e.Policy, e.Savings*100)
+}
+
+// Evaluate folds the policy over every interval in the distribution and
+// compares against the always-active baseline (Pactive x frames x cycles).
+func Evaluate(t power.Technology, d *interval.Distribution, p Policy) (Evaluation, error) {
+	if err := t.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if d == nil {
+		return Evaluation{}, errors.New("leakage: nil distribution")
+	}
+	if p == nil {
+		return Evaluation{}, errors.New("leakage: nil policy")
+	}
+	baseline := t.PActive * float64(d.Mass())
+	if baseline == 0 {
+		return Evaluation{}, errors.New("leakage: empty distribution (zero mass)")
+	}
+	var energy float64
+	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
+		energy += p.IntervalEnergy(t, length, flags) * float64(count)
+		return true
+	})
+	return Evaluation{
+		Policy:   p.Name(),
+		Energy:   energy,
+		Baseline: baseline,
+		Savings:  1 - energy/baseline,
+	}, nil
+}
+
+// EvaluateAll runs several policies over the same distribution.
+func EvaluateAll(t power.Technology, d *interval.Distribution, ps []Policy) ([]Evaluation, error) {
+	out := make([]Evaluation, 0, len(ps))
+	for _, p := range ps {
+		ev, err := Evaluate(t, d, p)
+		if err != nil {
+			return nil, fmt.Errorf("leakage: evaluating %s: %w", p.Name(), err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// AverageSavings averages the savings of per-benchmark evaluations of the
+// same policy, the way Figure 8's rightmost bars are built.
+func AverageSavings(evals []Evaluation) (float64, error) {
+	if len(evals) == 0 {
+		return 0, errors.New("leakage: no evaluations to average")
+	}
+	var s float64
+	for _, e := range evals {
+		s += e.Savings
+	}
+	return s / float64(len(evals)), nil
+}

@@ -1,0 +1,79 @@
+package leakage_test
+
+import (
+	"fmt"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+)
+
+// The appendix's Theorem 1 in action: the optimal mode for each interval
+// length regime.
+func ExampleOptimalMode() {
+	tech := power.Default()
+	for _, L := range []float64{4, 500, 50000} {
+		mode, err := leakage.OptimalMode(tech, L)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%6.0f cycles -> %s\n", L, mode)
+	}
+	// Output:
+	//      4 cycles -> active
+	//    500 cycles -> drowsy
+	//  50000 cycles -> sleep
+}
+
+// Evaluating the oracle hybrid policy over an interval distribution — the
+// core computation behind every bar of Figure 8.
+func ExampleEvaluate() {
+	tech := power.Default()
+	d := interval.NewDistribution(4, 1_000_000)
+	d.Add(4, 0, 1000)                       // hot: active regime
+	d.Add(500, 0, 2000)                     // drowsy regime
+	d.Add(50_000, 0, 50)                    // sleep regime
+	d.Add(1_000_000, interval.Untouched, 1) // a frame never touched
+	ev, err := leakage.Evaluate(tech, d, leakage.OPTHybrid{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ev)
+	// Output:
+	// OPT-Hybrid: 91.2% leakage savings
+}
+
+// The Figure 5 algorithm: accumulate the optimal saving over a set of
+// intervals.
+func ExampleOptimalLeakageSaving() {
+	tech := power.Default()
+	saving, err := leakage.OptimalLeakageSaving(tech, []uint64{3, 500, 50000})
+	if err != nil {
+		panic(err)
+	}
+	// The 3-cycle interval contributes nothing; the others save most of
+	// their active-energy cost.
+	fmt.Printf("total saving: %.0f model units\n", saving)
+	// Output:
+	// total saving: 39587 model units
+}
+
+// The generalized model of Figure 6 applied to a hand-built future node.
+func ExampleModel_InflectionPoints() {
+	var m leakage.Model
+	m.P = [3]float64{1.0, 1.0 / 3, 0.01}
+	m.E[leakage.Active][leakage.Drowsy] = 3
+	m.E[leakage.Drowsy][leakage.Active] = 3
+	m.E[leakage.Active][leakage.Sleep] = 30
+	m.E[leakage.Sleep][leakage.Active] = 7
+	m.EntryCycles = [3]int{0, 3, 30}
+	m.WakeCycles = [3]int{0, 3, 7}
+	m.CD = 250
+	a, b, err := m.InflectionPoints()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("a=%.0f b=%.0f\n", a, b)
+	// Output:
+	// a=6 b=874
+}

@@ -1,0 +1,98 @@
+// Package leakage is the paper's primary contribution: computing the limits
+// of cache leakage power reduction. It provides:
+//
+//   - the three operating modes (active / drowsy / sleep) and their
+//     per-interval energies (building on internal/power's Equations 1–3);
+//   - the oracle policies of Section 4.4 (OPT-Drowsy, OPT-Sleep(θ),
+//     Sleep(θ) decay, OPT-Hybrid) and the prefetch-guided policies of
+//     Section 5.2 (Prefetch-A, Prefetch-B);
+//   - Evaluate, which folds a policy over an interval distribution and
+//     reports leakage savings versus an always-active cache;
+//   - the generalized state-machine model of Section 3.3 / Figure 6; and
+//   - the optimal-policy algorithm of Figure 5 with the appendix theorem's
+//     lower-envelope characterization.
+package leakage
+
+import (
+	"fmt"
+
+	"leakbound/internal/power"
+)
+
+// Mode is a cache line operating mode (T in the appendix's Definition 2).
+type Mode uint8
+
+const (
+	// Active keeps the line at full Vdd: instantly accessible, maximal
+	// leakage.
+	Active Mode = iota
+	// Drowsy holds the line at a reduced supply voltage: state preserved,
+	// ~3x lower leakage, small wake latency.
+	Drowsy
+	// Sleep gates Vdd entirely: near-zero leakage, state lost, re-fetch
+	// required on the next access.
+	Sleep
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Active:
+		return "active"
+	case Drowsy:
+		return "drowsy"
+	case Sleep:
+		return "sleep"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m names a real mode.
+func (m Mode) Valid() bool { return m < numModes }
+
+// Modes lists all modes in ascending aggressiveness.
+func Modes() []Mode { return []Mode{Active, Drowsy, Sleep} }
+
+// EnergyWithMode returns the energy of covering an interior interval of the
+// given length with the given mode, or an error if the interval is too
+// short to physically hold the mode's transitions.
+func EnergyWithMode(t power.Technology, length float64, m Mode) (float64, error) {
+	switch m {
+	case Active:
+		return t.ActiveEnergy(length), nil
+	case Drowsy:
+		if length < float64(t.Durations.DrowsyOverhead()) {
+			return 0, fmt.Errorf("leakage: interval %g shorter than drowsy overhead %d",
+				length, t.Durations.DrowsyOverhead())
+		}
+		return t.DrowsyEnergy(length), nil
+	case Sleep:
+		if length < float64(t.Durations.SleepOverhead()) {
+			return 0, fmt.Errorf("leakage: interval %g shorter than sleep overhead %d",
+				length, t.Durations.SleepOverhead())
+		}
+		return t.SleepEnergy(length), nil
+	default:
+		return 0, fmt.Errorf("leakage: invalid mode %d", m)
+	}
+}
+
+// OptimalMode returns the mode the appendix's Theorem 1 assigns to an
+// interior interval of the given length: active on (0,a], drowsy on (a,b],
+// sleep on (b,+inf).
+func OptimalMode(t power.Technology, length float64) (Mode, error) {
+	a, b, err := t.InflectionPoints()
+	if err != nil {
+		return Active, err
+	}
+	switch {
+	case length <= a:
+		return Active, nil
+	case length <= b:
+		return Drowsy, nil
+	default:
+		return Sleep, nil
+	}
+}

@@ -1,0 +1,176 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+
+	"leakbound/internal/power"
+)
+
+// Model is the generalized optimal-leakage-savings model of Section 3.3 and
+// Figure 6: three states (Active, Drowsy, Sleep), a static power per state,
+// and transition energies on the edges. All individual assumptions —
+// durations, transition energies, per-mode leakage, and the induced-miss
+// cost — are parameterized, so the model keeps working as implementation
+// technology changes over time (the paper's stated purpose for it).
+type Model struct {
+	// P is the static power of each state, per line per cycle.
+	P [3]float64
+	// E holds transition energies: E[from][to]. Diagonal entries are zero
+	// (self edges consume only the state's static power).
+	E [3][3]float64
+	// WakeCycles is the time to return to Active from each state; it
+	// bounds which intervals a mode can cover (the transition must fit).
+	WakeCycles [3]int
+	// EntryCycles is the time to enter each state from Active.
+	EntryCycles [3]int
+	// CD is the dynamic induced-miss energy paid when a slept line is
+	// re-fetched.
+	CD float64
+}
+
+// NewModel builds the Figure 6 model from a calibrated technology node.
+func NewModel(t power.Technology) Model {
+	tr := t.Transitions()
+	d := t.Durations
+	var m Model
+	m.P = [3]float64{t.PActive, t.PDrowsy, t.PSleep}
+	m.E[Active][Drowsy] = tr.EAD
+	m.E[Drowsy][Active] = tr.EDA
+	m.E[Active][Sleep] = tr.EAS
+	m.E[Sleep][Active] = tr.ESA
+	// Drowsy<->Sleep edges: the paper's scheme never uses them mid-interval
+	// (an optimal policy picks one mode per interval), but the model keeps
+	// them for generality: through-Active composition.
+	m.E[Drowsy][Sleep] = tr.EDA + tr.EAS
+	m.E[Sleep][Drowsy] = tr.ESA + tr.EAD
+	m.WakeCycles = [3]int{0, d.D3, d.S3 + d.S4}
+	m.EntryCycles = [3]int{0, d.D1, d.S1}
+	m.CD = t.CD
+	return m
+}
+
+// Validate checks the model's internal consistency.
+func (m Model) Validate() error {
+	if m.P[Active] <= 0 {
+		return fmt.Errorf("leakage: model active power %g not positive", m.P[Active])
+	}
+	if !(m.P[Active] > m.P[Drowsy] && m.P[Drowsy] > m.P[Sleep]) {
+		return fmt.Errorf("leakage: model powers not strictly ordered: %v", m.P)
+	}
+	if m.P[Sleep] < 0 || m.CD < 0 {
+		return fmt.Errorf("leakage: negative power or CD")
+	}
+	for i := range m.E {
+		if m.E[i][i] != 0 {
+			return fmt.Errorf("leakage: non-zero self transition energy at %v", Mode(i))
+		}
+		for j := range m.E[i] {
+			if m.E[i][j] < 0 {
+				return fmt.Errorf("leakage: negative transition energy %v->%v", Mode(i), Mode(j))
+			}
+		}
+	}
+	return nil
+}
+
+// overhead returns the cycles an interval must donate to enter and leave
+// the mode.
+func (m Model) overhead(mode Mode) int {
+	return m.EntryCycles[mode] + m.WakeCycles[mode]
+}
+
+// IntervalEnergy returns the energy of covering an interior interval of the
+// given length entirely in the given mode: the entry transition, the rest
+// at the state's static power, the wake transition, and (for sleep) the
+// induced-miss re-fetch. It returns +Inf when the transitions do not fit,
+// so the lower envelope (Figure 10) is well defined everywhere.
+func (m Model) IntervalEnergy(length float64, mode Mode) float64 {
+	if !mode.Valid() {
+		return math.Inf(1)
+	}
+	if mode == Active {
+		return length * m.P[Active]
+	}
+	oh := float64(m.overhead(mode))
+	if length < oh {
+		return math.Inf(1)
+	}
+	e := m.E[Active][mode] + (length-oh)*m.P[mode] + m.E[mode][Active]
+	if mode == Sleep {
+		e += m.CD
+	}
+	return e
+}
+
+// OptimalMode returns the cheapest mode for an interval of the given
+// length, i.e. the argmin of the Figure 10 lower envelope.
+func (m Model) OptimalMode(length float64) Mode {
+	best, bestE := Active, m.IntervalEnergy(length, Active)
+	for _, mode := range []Mode{Drowsy, Sleep} {
+		if e := m.IntervalEnergy(length, mode); e < bestE {
+			best, bestE = mode, e
+		}
+	}
+	return best
+}
+
+// Envelope returns the minimal energy over all modes for the given length:
+// the lower-envelope function E(Ii, Tj) of Figure 10.
+func (m Model) Envelope(length float64) float64 {
+	return m.IntervalEnergy(length, m.OptimalMode(length))
+}
+
+// InflectionPoints returns (a, b) computed from the model's own parameters:
+// a is the drowsy overhead (entry+wake), and b solves
+// sleepEnergy(L) = drowsyEnergy(L). This mirrors
+// power.Technology.InflectionPoints but works for arbitrary hand-built
+// models, which is what makes the model useful for future technologies.
+func (m Model) InflectionPoints() (a, b float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, err
+	}
+	a = float64(m.overhead(Drowsy))
+	// Both energies are affine in L beyond their overheads:
+	//   E_s(L) = alphaS + Ps*L, E_d(L) = alphaD + Pd*L.
+	ohS, ohD := float64(m.overhead(Sleep)), float64(m.overhead(Drowsy))
+	alphaS := m.E[Active][Sleep] + m.E[Sleep][Active] + m.CD - ohS*m.P[Sleep]
+	alphaD := m.E[Active][Drowsy] + m.E[Drowsy][Active] - ohD*m.P[Drowsy]
+	b = (alphaS - alphaD) / (m.P[Drowsy] - m.P[Sleep])
+	if b < ohS {
+		return 0, 0, fmt.Errorf("leakage: model inflection %g below sleep overhead %g; sleep never wins", b, ohS)
+	}
+	if b <= a {
+		return 0, 0, fmt.Errorf("leakage: model inflection b=%g not above a=%g", b, a)
+	}
+	return a, b, nil
+}
+
+// EnvelopeSeries samples the three mode-energy curves and the lower
+// envelope at the given interval lengths; this is the data behind
+// Figure 10.
+type EnvelopePoint struct {
+	Length  float64
+	Active  float64
+	Drowsy  float64 // +Inf where the mode does not fit
+	Sleep   float64 // +Inf where the mode does not fit
+	Minimum float64
+	Best    Mode
+}
+
+// EnvelopeSeries evaluates the model at each length.
+func (m Model) EnvelopeSeries(lengths []float64) []EnvelopePoint {
+	out := make([]EnvelopePoint, len(lengths))
+	for i, L := range lengths {
+		best := m.OptimalMode(L)
+		out[i] = EnvelopePoint{
+			Length:  L,
+			Active:  m.IntervalEnergy(L, Active),
+			Drowsy:  m.IntervalEnergy(L, Drowsy),
+			Sleep:   m.IntervalEnergy(L, Sleep),
+			Minimum: m.IntervalEnergy(L, best),
+			Best:    best,
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package leakage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leakbound/internal/power"
+)
+
+func TestNewModelMatchesTechnology(t *testing.T) {
+	// The Figure 6 model built from a technology node must agree with the
+	// closed-form equations in internal/power for every mode and length.
+	for _, tech := range power.Technologies() {
+		m := NewModel(tech)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		for _, L := range []float64{6, 7, 37, 50, 1057, 5000, 1e6} {
+			if got, want := m.IntervalEnergy(L, Active), tech.ActiveEnergy(L); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: active(%g) = %g, want %g", tech.Name, L, got, want)
+			}
+			if L >= float64(tech.Durations.DrowsyOverhead()) {
+				if got, want := m.IntervalEnergy(L, Drowsy), tech.DrowsyEnergy(L); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s: drowsy(%g) = %g, want %g", tech.Name, L, got, want)
+				}
+			}
+			if L >= float64(tech.Durations.SleepOverhead()) {
+				if got, want := m.IntervalEnergy(L, Sleep), tech.SleepEnergy(L); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s: sleep(%g) = %g, want %g", tech.Name, L, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestModelInflectionMatchesTechnology(t *testing.T) {
+	for _, tech := range power.Technologies() {
+		m := NewModel(tech)
+		ma, mb, err := m.InflectionPoints()
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		ta, tb, err := tech.InflectionPoints()
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		if math.Abs(ma-ta) > 1e-9 || math.Abs(mb-tb) > 1e-6 {
+			t.Errorf("%s: model inflections (%g, %g) != technology (%g, %g)",
+				tech.Name, ma, mb, ta, tb)
+		}
+	}
+}
+
+func TestModelInfeasibleIsInf(t *testing.T) {
+	m := NewModel(power.Default())
+	if !math.IsInf(m.IntervalEnergy(5, Drowsy), 1) {
+		t.Error("drowsy on 5-cycle interval not +Inf")
+	}
+	if !math.IsInf(m.IntervalEnergy(20, Sleep), 1) {
+		t.Error("sleep on 20-cycle interval not +Inf")
+	}
+	if !math.IsInf(m.IntervalEnergy(100, Mode(9)), 1) {
+		t.Error("bad mode not +Inf")
+	}
+}
+
+func TestModelOptimalModeMatchesRegimes(t *testing.T) {
+	tech := power.Default()
+	m := NewModel(tech)
+	_, b, err := m.InflectionPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		L    float64
+		want Mode
+	}{
+		{3, Active}, {6, Active}, {10, Drowsy}, {b - 1, Drowsy}, {b + 2, Sleep}, {1e7, Sleep},
+	}
+	for _, c := range cases {
+		if got := m.OptimalMode(c.L); got != c.want {
+			t.Errorf("OptimalMode(%g) = %v, want %v", c.L, got, c.want)
+		}
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	good := NewModel(power.Default())
+	bad := good
+	bad.P[Active] = 0
+	if bad.Validate() == nil {
+		t.Error("zero active power accepted")
+	}
+	bad = good
+	bad.P[Drowsy] = bad.P[Sleep]
+	if bad.Validate() == nil {
+		t.Error("unordered powers accepted")
+	}
+	bad = good
+	bad.E[Active][Active] = 1
+	if bad.Validate() == nil {
+		t.Error("self-edge energy accepted")
+	}
+	bad = good
+	bad.E[Active][Sleep] = -1
+	if bad.Validate() == nil {
+		t.Error("negative edge accepted")
+	}
+	bad = good
+	bad.CD = -1
+	if bad.Validate() == nil {
+		t.Error("negative CD accepted")
+	}
+}
+
+func TestEnvelopeSeries(t *testing.T) {
+	m := NewModel(power.Default())
+	pts := m.EnvelopeSeries([]float64{3, 100, 5000})
+	if len(pts) != 3 {
+		t.Fatalf("series len = %d", len(pts))
+	}
+	if pts[0].Best != Active || pts[1].Best != Drowsy || pts[2].Best != Sleep {
+		t.Errorf("bests = %v %v %v", pts[0].Best, pts[1].Best, pts[2].Best)
+	}
+	for _, p := range pts {
+		if p.Minimum > p.Active+1e-9 {
+			t.Errorf("envelope above active at %g", p.Length)
+		}
+		if p.Minimum != m.Envelope(p.Length) {
+			t.Errorf("Minimum != Envelope at %g", p.Length)
+		}
+	}
+}
+
+// TestEnvelopeMonotone: Figure 10 derivation 1 — the lower envelope is
+// continuous and monotonically increasing in interval length.
+func TestEnvelopeMonotone(t *testing.T) {
+	for _, tech := range power.Technologies() {
+		m := NewModel(tech)
+		prev := 0.0
+		for L := 1.0; L < 2e5; L *= 1.07 {
+			e := m.Envelope(L)
+			if e < prev-1e-9 {
+				t.Fatalf("%s: envelope decreased at L=%g: %g -> %g", tech.Name, L, prev, e)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestTheoremProperty: the appendix's Theorem 1 — no per-interval mode
+// assignment beats the inflection-point assignment, over random interval
+// sets and random assignments.
+func TestTheoremProperty(t *testing.T) {
+	techs := power.Technologies()
+	f := func(seed int64, techIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tech := techs[int(techIdx)%len(techs)]
+		n := rng.Intn(40) + 1
+		intervals := make([]uint64, n)
+		for i := range intervals {
+			// Mix tiny, mid, and huge intervals.
+			switch rng.Intn(3) {
+			case 0:
+				intervals[i] = uint64(rng.Intn(10) + 1)
+			case 1:
+				intervals[i] = uint64(rng.Intn(2000) + 1)
+			default:
+				intervals[i] = uint64(rng.Intn(3_000_000) + 1)
+			}
+		}
+		alt := make(Assignment, n)
+		for i := range alt {
+			alt[i] = Mode(rng.Intn(3))
+		}
+		opt, altE, err := VerifyTheorem(tech, intervals, alt)
+		if err != nil {
+			return false
+		}
+		return opt <= altE+1e-9*math.Max(1, altE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure5MatchesAssignment(t *testing.T) {
+	// The Figure 5 accumulation (savings form) must equal
+	// baseline - optimal assignment energy.
+	tech := power.Default()
+	intervals := []uint64{3, 6, 7, 500, 1057, 1058, 40000, 2_000_000}
+	saving, err := OptimalLeakageSaving(tech, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalAssignment(tech, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optE, err := AssignmentEnergy(tech, intervals, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline float64
+	for _, li := range intervals {
+		baseline += tech.ActiveEnergy(float64(li))
+	}
+	if math.Abs(saving-(baseline-optE)) > 1e-6 {
+		t.Errorf("Figure 5 saving %g != baseline-optimal %g", saving, baseline-optE)
+	}
+	if saving <= 0 {
+		t.Error("no saving on a mixed interval set")
+	}
+}
+
+func TestAssignmentEnergyMismatch(t *testing.T) {
+	tech := power.Default()
+	if _, err := AssignmentEnergy(tech, []uint64{1, 2}, Assignment{Active}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAssignmentInfeasibleFallsBack(t *testing.T) {
+	// Assigning sleep to a 3-cycle interval must cost active energy, not
+	// error out or under-count.
+	tech := power.Default()
+	e, err := AssignmentEnergy(tech, []uint64{3}, Assignment{Sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-tech.ActiveEnergy(3)) > 1e-12 {
+		t.Errorf("infeasible assignment energy = %g, want active %g", e, tech.ActiveEnergy(3))
+	}
+}
+
+func BenchmarkEvaluateHybrid(b *testing.B) {
+	tech := power.Default()
+	d := distOf(1024, 1<<21)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		d.Add(uint64(rng.Intn(100000)+1), 0, uint64(rng.Intn(5)+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(tech, d, OPTHybrid{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelEnvelope(b *testing.B) {
+	m := NewModel(power.Default())
+	for i := 0; i < b.N; i++ {
+		m.Envelope(float64(i%100000 + 1))
+	}
+}

@@ -1,0 +1,105 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements Equations 1–3 of the paper: the energy a cache line
+// consumes over one access interval under each operating mode, and the two
+// inflection points that divide interval lengths into active-, drowsy- and
+// sleep-optimal regimes.
+
+// ActiveEnergy returns the leakage energy of a line left fully on for an
+// interval of length cycles.
+func (t Technology) ActiveEnergy(cycles float64) float64 {
+	return t.PActive * cycles
+}
+
+// DrowsyEnergy returns Equation 2: the energy of covering an interval of
+// the given length with drowsy mode (transition down, low-voltage rest,
+// transition up). Transition segments are charged at full active power —
+// this is what makes the Figure 10 lower envelope continuous at the
+// active–drowsy point: E_drowsy(a) = a * PActive exactly. Valid for
+// cycles >= DrowsyOverhead; below that the caller must keep the line
+// active.
+func (t Technology) DrowsyEnergy(cycles float64) float64 {
+	d := t.Durations
+	rest := cycles - float64(d.DrowsyOverhead())
+	return float64(d.DrowsyOverhead())*t.PActive + rest*t.PDrowsy
+}
+
+// SleepEnergy returns Equation 1: the energy of covering an interval with
+// sleep (gated-Vdd) mode, including the induced-miss re-fetch energy CD.
+// As with DrowsyEnergy, transition segments (s1, s3) and the post-wake wait
+// (s4) are charged at active power. Valid for cycles >= SleepOverhead.
+func (t Technology) SleepEnergy(cycles float64) float64 {
+	d := t.Durations
+	rest := cycles - float64(d.SleepOverhead())
+	return float64(d.SleepOverhead())*t.PActive + rest*t.PSleep + t.CD
+}
+
+// SleepEnergyNoRefetch returns the sleep-mode energy without the
+// induced-miss cost; used for a frame's trailing gap (nothing re-fetches
+// after the program ends) and for compulsory fills (the first access to a
+// block pays its miss in the baseline too).
+func (t Technology) SleepEnergyNoRefetch(cycles float64) float64 {
+	return t.SleepEnergy(cycles) - t.CD
+}
+
+// InflectionPoints returns the pair (a, b) of Definition 3:
+//
+//   - a, the active–drowsy point, is the total drowsy transition time
+//     d1+d3 — any shorter interval cannot complete the voltage swing.
+//   - b, the drowsy–sleep point, solves E_sleep(b) = E_drowsy(b)
+//     (Equation 3). Both energies are affine in the interval length, so
+//     the solution is exact: b = (alphaS - alphaD) / (PDrowsy - PSleep),
+//     where alphaS and alphaD collect the length-independent terms.
+//
+// An error is returned if the parameters admit no crossover at or above the
+// sleep overhead (sleep would then never win, e.g. CD too large).
+func (t Technology) InflectionPoints() (a, b float64, err error) {
+	if err := t.Validate(); err != nil {
+		return 0, 0, err
+	}
+	d := t.Durations
+	a = float64(d.DrowsyOverhead())
+	// E_sleep(L) = alphaS + PSleep*L ; E_drowsy(L) = alphaD + PDrowsy*L.
+	alphaS := t.SleepEnergy(float64(d.SleepOverhead())) - t.PSleep*float64(d.SleepOverhead())
+	alphaD := t.DrowsyEnergy(float64(d.DrowsyOverhead())) - t.PDrowsy*float64(d.DrowsyOverhead())
+	b = (alphaS - alphaD) / (t.PDrowsy - t.PSleep)
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		return 0, 0, fmt.Errorf("power: %s: degenerate inflection (PDrowsy=%g PSleep=%g)",
+			t.Name, t.PDrowsy, t.PSleep)
+	}
+	if b < float64(d.SleepOverhead()) {
+		return 0, 0, fmt.Errorf("power: %s: inflection %g below sleep overhead %d; sleep never wins",
+			t.Name, b, d.SleepOverhead())
+	}
+	if b <= a {
+		return 0, 0, fmt.Errorf("power: %s: inflection b=%g not above a=%g (Lemma 1 violated)",
+			t.Name, b, a)
+	}
+	return a, b, nil
+}
+
+// TransitionEnergies returns the edge weights of the generalized model
+// (Figure 6): the energy of each mode transition, with transition segments
+// charged at active power (the line is driving a voltage swing).
+type TransitionEnergies struct {
+	EAD float64 // Active -> Drowsy
+	EDA float64 // Drowsy -> Active
+	EAS float64 // Active -> Sleep
+	ESA float64 // Sleep -> Active (includes the post-wake wait s4, excludes CD)
+}
+
+// Transitions computes the generalized model's edge weights for t.
+func (t Technology) Transitions() TransitionEnergies {
+	d := t.Durations
+	return TransitionEnergies{
+		EAD: float64(d.D1) * t.PActive,
+		EDA: float64(d.D3) * t.PActive,
+		EAS: float64(d.S1) * t.PActive,
+		ESA: float64(d.S3+d.S4) * t.PActive,
+	}
+}

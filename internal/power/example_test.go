@@ -1,0 +1,46 @@
+package power_test
+
+import (
+	"fmt"
+
+	"leakbound/internal/power"
+)
+
+// The paper's central calculation: the two inflection points that divide
+// interval lengths into active-, drowsy- and sleep-optimal regimes.
+func ExampleTechnology_InflectionPoints() {
+	tech := power.Default() // the 70nm node
+	a, b, err := tech.InflectionPoints()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("active-drowsy: %.0f cycles\n", a)
+	fmt.Printf("drowsy-sleep:  %.0f cycles\n", b)
+	// Output:
+	// active-drowsy: 6 cycles
+	// drowsy-sleep:  1057 cycles
+}
+
+// Calibrating the induced-miss energy from a target inflection point —
+// how the built-in technology table reproduces the paper's Table 1.
+func ExampleCalibrateCD() {
+	dur := power.PaperDurations()
+	pa := 0.8
+	cd, err := power.CalibrateCD(pa, pa/3, pa/100, dur, 1057)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CD = %.1f model units\n", cd)
+	// Output:
+	// CD = 247.3 model units
+}
+
+// Equations 1 and 2: the energy a line spends covering an interval with
+// each mode, at the crossing point both are equal by construction.
+func ExampleTechnology_SleepEnergy() {
+	tech := power.Default()
+	_, b, _ := tech.InflectionPoints()
+	fmt.Printf("at b: sleep %.1f vs drowsy %.1f\n", tech.SleepEnergy(b), tech.DrowsyEnergy(b))
+	// Output:
+	// at b: sleep 285.1 vs drowsy 285.1
+}

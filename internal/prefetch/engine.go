@@ -1,0 +1,222 @@
+package prefetch
+
+// Engine is an implementable hardware prefetcher — next-line plus per-PC
+// stride — as opposed to the oracle-side interval Classifier. It watches
+// the demand access stream, issues prefetch requests, and accounts for
+// their usefulness, which is what lets the library check the premise of
+// Section 5 ("most of the cache misses can be captured by these schemes",
+// citing Sair, Sherwood and Calder): the coverage and accuracy of the
+// predictors on each workload.
+//
+// The engine is evaluated against the trace rather than mutating the
+// simulated cache: a prefetch is *useful* if the predicted line is
+// demanded within Lookahead cycles of being issued, *late* if the demand
+// arrives before the prefetch could have completed, and *useless* if no
+// demand arrives before the entry ages out.
+
+import (
+	"fmt"
+
+	"leakbound/internal/sim/trace"
+)
+
+// EngineConfig controls the prefetch engine.
+type EngineConfig struct {
+	Config
+	// Lookahead is the window (cycles) within which a prefetched line must
+	// be demanded to count as useful; beyond it the prefetch is useless
+	// (pollution). A few times the L2 latency is customary.
+	Lookahead uint64
+	// MinLatency is the earliest a prefetch can complete after issue
+	// (the L2 hit latency); a demand arriving sooner makes the prefetch
+	// late — it helps, but cannot fully hide the miss.
+	MinLatency uint64
+	// Degree is how many consecutive next lines one access may trigger
+	// (degree-1 is classic next-line).
+	Degree int
+}
+
+// DefaultEngineConfig returns a degree-1 engine with an L2-scaled window
+// for the given predictor set.
+func DefaultEngineConfig(cfg Config) EngineConfig {
+	return EngineConfig{Config: cfg, Lookahead: 10000, MinLatency: 7, Degree: 1}
+}
+
+// Validate checks the configuration.
+func (c EngineConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Lookahead == 0 {
+		return fmt.Errorf("prefetch: zero lookahead")
+	}
+	if c.Degree <= 0 || c.Degree > 8 {
+		return fmt.Errorf("prefetch: implausible degree %d", c.Degree)
+	}
+	return nil
+}
+
+// EngineStats summarizes the engine's behaviour over a trace.
+type EngineStats struct {
+	DemandAccesses uint64
+	DemandMisses   uint64
+	Issued         uint64 // prefetches issued
+	Useful         uint64 // demanded within (MinLatency, Lookahead]
+	Late           uint64 // demanded within [0, MinLatency]
+	Useless        uint64 // aged out without a demand
+	CoveredMisses  uint64 // demand misses whose line had a timely prefetch in flight
+}
+
+// Accuracy returns Useful / Issued.
+func (s EngineStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Issued)
+}
+
+// Coverage returns the fraction of demand misses a timely prefetch covered.
+func (s EngineStats) Coverage() float64 {
+	if s.DemandMisses == 0 {
+		return 0
+	}
+	return float64(s.CoveredMisses) / float64(s.DemandMisses)
+}
+
+// inflight tracks one outstanding prefetch.
+type inflight struct {
+	issuedAt uint64
+}
+
+// Engine is the prefetcher; feed it the demand access stream of one cache
+// in cycle order via Access, then read Stats.
+type Engine struct {
+	cfg      EngineConfig
+	inflight map[uint64]inflight // lineAddr -> issue record
+	strides  map[uint64]*strideEntry
+	lastLine uint64
+	haveLast bool
+	stats    EngineStats
+	lastSeen uint64
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		inflight: make(map[uint64]inflight),
+		strides:  make(map[uint64]*strideEntry),
+	}, nil
+}
+
+// MustNewEngine panics on bad configuration.
+func MustNewEngine(cfg EngineConfig) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Access feeds one demand access. Returns the number of prefetches issued
+// in response (useful mainly for tests).
+func (e *Engine) Access(ev trace.Event) int {
+	e.stats.DemandAccesses++
+	e.expire(ev.Cycle)
+
+	// Demand lookup against in-flight prefetches.
+	if rec, ok := e.inflight[ev.LineAddr]; ok {
+		age := ev.Cycle - rec.issuedAt
+		if age > e.cfg.MinLatency {
+			e.stats.Useful++
+			if ev.Miss {
+				// The simulator's cache did not have the prefetch, but a
+				// prefetching cache would have: count the miss as covered.
+				e.stats.CoveredMisses++
+			}
+		} else {
+			e.stats.Late++
+		}
+		delete(e.inflight, ev.LineAddr)
+	}
+	if ev.Miss {
+		e.stats.DemandMisses++
+	}
+
+	issued := 0
+	// Next-line prediction.
+	if e.cfg.NextLine {
+		for d := 1; d <= e.cfg.Degree; d++ {
+			issued += e.issue(ev.LineAddr+uint64(d), ev.Cycle)
+		}
+	}
+	// Stride prediction (data accesses only).
+	if e.cfg.Stride && ev.Kind != trace.Fetch {
+		addr := ev.LineAddr << 6
+		s, ok := e.strides[ev.PC]
+		if !ok {
+			if e.cfg.StrideTableSize == 0 || len(e.strides) < e.cfg.StrideTableSize {
+				e.strides[ev.PC] = &strideEntry{lastAddr: addr, lastCycle: ev.Cycle}
+			}
+		} else {
+			stride := int64(addr) - int64(s.lastAddr)
+			if stride == s.stride && stride != 0 {
+				s.confirmed = true
+			} else {
+				s.stride = stride
+				s.confirmed = false
+			}
+			s.lastAddr = addr
+			s.lastCycle = ev.Cycle
+			if s.confirmed {
+				next := uint64(int64(addr)+s.stride) >> 6
+				issued += e.issue(next, ev.Cycle)
+			}
+		}
+	}
+	e.lastLine = ev.LineAddr
+	e.haveLast = true
+	e.lastSeen = ev.Cycle
+	return issued
+}
+
+// issue records a prefetch unless one is already in flight for the line.
+func (e *Engine) issue(lineAddr, cycle uint64) int {
+	if _, ok := e.inflight[lineAddr]; ok {
+		return 0
+	}
+	e.inflight[lineAddr] = inflight{issuedAt: cycle}
+	e.stats.Issued++
+	return 1
+}
+
+// expire retires prefetches older than the lookahead window.
+func (e *Engine) expire(now uint64) {
+	if len(e.inflight) == 0 {
+		return
+	}
+	// The in-flight table is small (bounded by issue rate * lookahead);
+	// a periodic sweep keeps this O(1) amortized.
+	if now < e.lastSeen+e.cfg.Lookahead/4 {
+		return
+	}
+	for line, rec := range e.inflight {
+		if now-rec.issuedAt > e.cfg.Lookahead {
+			e.stats.Useless++
+			delete(e.inflight, line)
+		}
+	}
+}
+
+// Finish retires all remaining in-flight prefetches as useless and returns
+// the final statistics.
+func (e *Engine) Finish() EngineStats {
+	for line := range e.inflight {
+		e.stats.Useless++
+		delete(e.inflight, line)
+	}
+	return e.stats
+}

@@ -1,0 +1,236 @@
+// Package prefetch implements the two hardware prefetching schemes the
+// paper uses to approximate the oracle's perfect future knowledge
+// (Section 5): next-line prefetching and Farkas-style per-static-load
+// stride prefetching. Its classifiers plug into internal/interval's
+// Collector to flag each access interval as prefetchable or not, which the
+// Prefetch-A and Prefetch-B policies in internal/leakage then consume.
+//
+// An interval of cache line X is next-line prefetchable when line X−1 was
+// accessed within the interval — the access to X−1 would have triggered a
+// prefetch of X in time to hide the wakeup. An interval is stride
+// prefetchable when the static load that closes it had already established
+// a constant stride (the same stride seen at least twice) predicting
+// exactly this address, and the predicting access fell within the interval.
+package prefetch
+
+import (
+	"fmt"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/sim/trace"
+)
+
+// Config selects which predictors a classifier runs. The paper uses
+// next-line only for the instruction cache, and next-line plus stride for
+// the data cache (Section 5.1).
+type Config struct {
+	NextLine bool
+	Stride   bool
+	// StrideTableSize bounds the per-PC stride table (entries); 0 means
+	// unbounded (oracle-sized, the paper's limit-study setting).
+	StrideTableSize int
+}
+
+// ForICache returns the paper's instruction-cache configuration.
+func ForICache() Config { return Config{NextLine: true} }
+
+// ForDCache returns the paper's data-cache configuration.
+func ForDCache() Config { return Config{NextLine: true, Stride: true} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.NextLine && !c.Stride {
+		return fmt.Errorf("prefetch: no predictor enabled")
+	}
+	if c.StrideTableSize < 0 {
+		return fmt.Errorf("prefetch: negative stride table size %d", c.StrideTableSize)
+	}
+	return nil
+}
+
+// strideEntry tracks one static load's access pattern.
+type strideEntry struct {
+	lastAddr  uint64
+	lastCycle uint64
+	stride    int64
+	confirmed bool // the same stride has been seen at least twice
+}
+
+// Classifier implements interval.Classifier for one cache's event stream.
+type Classifier struct {
+	cfg Config
+
+	// lastLineAccess maps block-aligned line address -> cycle of the most
+	// recent access + 1 (0 = never seen). Used by next-line detection.
+	lastLineAccess map[uint64]uint64
+
+	// strides maps static load PC -> its stride predictor state.
+	strides map[uint64]*strideEntry
+
+	// Counters for Figure 9's prefetchability accounting.
+	nlHits     uint64
+	strideHits uint64
+}
+
+var _ interval.Classifier = (*Classifier)(nil)
+
+// NewClassifier builds a classifier with the given predictor configuration.
+func NewClassifier(cfg Config) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		cfg:            cfg,
+		lastLineAccess: make(map[uint64]uint64),
+		strides:        make(map[uint64]*strideEntry),
+	}, nil
+}
+
+// MustNewClassifier is NewClassifier that panics on bad configuration.
+func MustNewClassifier(cfg Config) *Classifier {
+	c, err := NewClassifier(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Classify implements interval.Classifier: called at the access that closes
+// an interval opened at cycle start, before Observe sees the event.
+func (c *Classifier) Classify(e trace.Event, start uint64) interval.Flags {
+	var flags interval.Flags
+	if c.cfg.NextLine && e.LineAddr > 0 {
+		if last := c.lastLineAccess[e.LineAddr-1]; last > 0 {
+			// last is cycle+1; the predecessor access must fall strictly
+			// inside the open interval (after start, before e.Cycle).
+			if lastCycle := last - 1; lastCycle > start && lastCycle < e.Cycle {
+				flags |= interval.NLPrefetchable
+				c.nlHits++
+			}
+		}
+	}
+	// Stride prefetch: only data accesses carry a meaningful static load.
+	if c.cfg.Stride && flags&interval.NLPrefetchable == 0 && e.Kind != trace.Fetch {
+		if s, ok := c.strides[e.PC]; ok && s.confirmed {
+			predicted := s.lastAddr + uint64(s.stride)
+			if s.stride != 0 && predicted>>6 == e.LineAddr &&
+				s.lastCycle > start && s.lastCycle < e.Cycle {
+				flags |= interval.StridePrefetchable
+				c.strideHits++
+			}
+		}
+	}
+	return flags
+}
+
+// Observe implements interval.Classifier: updates predictor state for every
+// access in stream order.
+func (c *Classifier) Observe(e trace.Event) {
+	if c.cfg.NextLine {
+		c.lastLineAccess[e.LineAddr] = e.Cycle + 1
+	}
+	if c.cfg.Stride && e.Kind != trace.Fetch {
+		addr := e.LineAddr << 6 // classify at line granularity
+		s, ok := c.strides[e.PC]
+		if !ok {
+			if c.cfg.StrideTableSize > 0 && len(c.strides) >= c.cfg.StrideTableSize {
+				// Table full: evict nothing, simply don't track new PCs.
+				// A limit study uses an unbounded table; the bound exists
+				// for sensitivity experiments.
+				return
+			}
+			c.strides[e.PC] = &strideEntry{lastAddr: addr, lastCycle: e.Cycle}
+			return
+		}
+		stride := int64(addr) - int64(s.lastAddr)
+		if stride == s.stride && stride != 0 {
+			s.confirmed = true
+		} else {
+			s.stride = stride
+			s.confirmed = false
+		}
+		s.lastAddr = addr
+		s.lastCycle = e.Cycle
+	}
+}
+
+// Stats reports how many interval closings each predictor flagged.
+func (c *Classifier) Stats() (nextLine, stride uint64) {
+	return c.nlHits, c.strideHits
+}
+
+// Prefetchability summarizes Figure 9: how interval counts split across the
+// three length regimes and, within each, the prefetchable share.
+type Prefetchability struct {
+	// Boundaries used for the split (a and b; 6 and 1057 at 70nm).
+	A, B float64
+	// Counts of interior intervals per regime.
+	ShortCount, MidCount, LongCount uint64
+	// Prefetchable counts within the mid and long regimes, split by
+	// predictor. Short intervals are always non-prefetchable by definition
+	// (they are never put in a low-power mode, so there is nothing to
+	// prefetch; Section 5.2).
+	MidNL, MidStride   uint64
+	LongNL, LongStride uint64
+}
+
+// Total returns the total interior interval count.
+func (p Prefetchability) Total() uint64 {
+	return p.ShortCount + p.MidCount + p.LongCount
+}
+
+// NLShare returns the fraction of all intervals flagged next-line
+// prefetchable (the paper's P-NL).
+func (p Prefetchability) NLShare() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.MidNL+p.LongNL) / float64(t)
+}
+
+// StrideShare returns the fraction flagged stride prefetchable (P-stride).
+func (p Prefetchability) StrideShare() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.MidStride+p.LongStride) / float64(t)
+}
+
+// PrefetchableShare returns the total prefetchable fraction.
+func (p Prefetchability) PrefetchableShare() float64 {
+	return p.NLShare() + p.StrideShare()
+}
+
+// Analyze computes Figure 9's breakdown from a flagged distribution and the
+// two inflection points.
+func Analyze(d *interval.Distribution, a, b float64) Prefetchability {
+	out := Prefetchability{A: a, B: b}
+	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
+		if !flags.Interior() {
+			return true
+		}
+		L := float64(length)
+		switch {
+		case L <= a:
+			out.ShortCount += count
+		case L <= b:
+			out.MidCount += count
+			if flags&interval.NLPrefetchable != 0 {
+				out.MidNL += count
+			} else if flags&interval.StridePrefetchable != 0 {
+				out.MidStride += count
+			}
+		default:
+			out.LongCount += count
+			if flags&interval.NLPrefetchable != 0 {
+				out.LongNL += count
+			} else if flags&interval.StridePrefetchable != 0 {
+				out.LongStride += count
+			}
+		}
+		return true
+	})
+	return out
+}

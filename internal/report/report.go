@@ -1,0 +1,233 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and simple line series, so each experiment runner can print exactly the
+// rows the paper's tables and figures show.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table with a title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; it errors if the arity does not match the headers.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Headers) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow that panics; for fixed-shape experiment output.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	widths := t.widths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		// Trim trailing spaces for clean diffs.
+		s := b.String()
+		b.Reset()
+		b.WriteString(strings.TrimRight(s, " "))
+		b.WriteByte('\n')
+		_, _ = io.WriteString(w, b.String())
+		b.Reset()
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return nil
+}
+
+// String renders to a string, for tests and logs.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return "report: " + err.Error()
+	}
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quoting cells that need
+// it).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(parts, ",")+"\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as the paper quotes percentages ("96.4%").
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// Series is a named sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Validate checks the series is well formed.
+func (s *Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// RenderSeries writes several series sharing an x-axis as a table: one x
+// column, one column per series. All series must have identical X vectors.
+func RenderSeries(w io.Writer, title, xLabel string, series ...*Series) error {
+	if len(series) == 0 {
+		return errors.New("report: no series")
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if len(s.X) != len(series[0].X) {
+			return fmt.Errorf("report: series %q length %d differs from %q length %d",
+				s.Name, len(s.X), series[0].Name, len(series[0].X))
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				return fmt.Errorf("report: series %q x-axis diverges at %d", s.Name, i)
+			}
+		}
+	}
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, xLabel)
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	for i := range series[0].X {
+		row := make([]string, 0, len(headers))
+		row = append(row, F(series[0].X[i]))
+		for _, s := range series {
+			row = append(row, Pct(s.Y[i]))
+		}
+		if err := t.AddRow(row...); err != nil {
+			return err
+		}
+	}
+	return t.Render(w)
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table; the
+// experiment binary uses it to emit results files that diff cleanly.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("### ")
+		b.WriteString(t.Title)
+		b.WriteString("\n\n")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("| ")
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+		}
+		b.WriteString(" |\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

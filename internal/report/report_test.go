@@ -1,0 +1,149 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.MustAddRow("x", "1")
+	tab.MustAddRow("longer-name", "2")
+	out := tab.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+	// Alignment: "value" column starts at the same offset in every row.
+	idx := strings.Index(lines[1], "value")
+	if lines[3][idx-2:idx] != "  " && !strings.HasPrefix(lines[3][idx:], "1") {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestTableArity(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	if err := tab.AddRow("only-one"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic")
+		}
+	}()
+	tab.MustAddRow("x")
+}
+
+func TestTableNoColumns(t *testing.T) {
+	tab := &Table{}
+	if err := tab.Render(&strings.Builder{}); err == nil {
+		t.Error("empty table rendered")
+	}
+	if err := tab.RenderCSV(&strings.Builder{}); err == nil {
+		t.Error("empty table rendered as CSV")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.MustAddRow("plain", "with,comma")
+	tab.MustAddRow("with\"quote", "with\nnewline")
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n"
+	if out != want {
+		t.Errorf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestPctAndF(t *testing.T) {
+	if Pct(0.964) != "96.4%" {
+		t.Errorf("Pct = %q", Pct(0.964))
+	}
+	if Pct(0) != "0.0%" {
+		t.Errorf("Pct(0) = %q", Pct(0))
+	}
+	if F(1057) != "1057" {
+		t.Errorf("F = %q", F(1057))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "sleep"}
+	s.Add(1057, 0.95)
+	s.Add(2000, 0.93)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Y = s.Y[:1]
+	if err := s.Validate(); err == nil {
+		t.Error("ragged series validated")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "Sleep"}
+	b := &Series{Name: "Sleep+Drowsy"}
+	for _, x := range []float64{1057, 2000, 10000} {
+		a.Add(x, 0.9)
+		b.Add(x, 0.95)
+	}
+	var buf strings.Builder
+	if err := RenderSeries(&buf, "Figure 7a", "interval", a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 7a") || !strings.Contains(out, "Sleep+Drowsy") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "95.0%") {
+		t.Errorf("missing values:\n%s", out)
+	}
+}
+
+func TestRenderSeriesErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := RenderSeries(&buf, "t", "x"); err == nil {
+		t.Error("no series accepted")
+	}
+	a := &Series{Name: "a"}
+	a.Add(1, 1)
+	b := &Series{Name: "b"}
+	if err := RenderSeries(&buf, "t", "x", a, b); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	b.Add(2, 1)
+	if err := RenderSeries(&buf, "t", "x", a, b); err == nil {
+		t.Error("diverging x accepted")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := NewTable("My Title", "a", "b")
+	tab.MustAddRow("x", "1")
+	tab.MustAddRow("with|pipe", "2")
+	var b strings.Builder
+	if err := tab.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "### My Title\n\n| a | b |\n| --- | --- |\n") {
+		t.Errorf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `with\|pipe`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	empty := &Table{}
+	if err := empty.RenderMarkdown(&b); err == nil {
+		t.Error("empty table rendered as markdown")
+	}
+}

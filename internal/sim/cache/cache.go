@@ -1,0 +1,294 @@
+// Package cache implements the set-associative cache model used as the
+// memory-hierarchy substrate for the limit study: configuration and geometry
+// checks, LRU/FIFO/Random replacement, per-access results rich enough to
+// drive timing and interval analysis, and the paper's three-level hierarchy
+// (64KB 2-way L1I with 1-cycle hits, 64KB 2-way L1D with 3-cycle hits, and a
+// unified 2MB direct-mapped L2 with 7-cycle hits, LRU everywhere).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ReplacementPolicy selects the victim way on a miss in a full set.
+type ReplacementPolicy uint8
+
+const (
+	// LRU evicts the least recently used way (the paper's policy throughout).
+	LRU ReplacementPolicy = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+	// Random evicts a pseudo-random way (xorshift, deterministic per cache).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", uint8(p))
+	}
+}
+
+// Config describes a cache's geometry and timing.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+	HitLatency int // cycles
+	Policy     ReplacementPolicy
+}
+
+// Validate checks the geometry: powers of two, consistent sizes.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry (size=%d block=%d assoc=%d)",
+			c.Name, c.SizeBytes, c.BlockBytes, c.Assoc)
+	}
+	if bits.OnesCount(uint(c.SizeBytes)) != 1 {
+		return fmt.Errorf("cache %q: size %d not a power of two", c.Name, c.SizeBytes)
+	}
+	if bits.OnesCount(uint(c.BlockBytes)) != 1 {
+		return fmt.Errorf("cache %q: block %d not a power of two", c.Name, c.BlockBytes)
+	}
+	lines := c.SizeBytes / c.BlockBytes
+	if lines*c.BlockBytes != c.SizeBytes {
+		return fmt.Errorf("cache %q: size %d not a multiple of block %d", c.Name, c.SizeBytes, c.BlockBytes)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by associativity %d", c.Name, lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %q: %d sets not a power of two", c.Name, sets)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %q: negative hit latency %d", c.Name, c.HitLatency)
+	}
+	if c.Policy > Random {
+		return fmt.Errorf("cache %q: unknown replacement policy %d", c.Name, c.Policy)
+	}
+	return nil
+}
+
+// NumLines returns the number of cache frames.
+func (c Config) NumLines() int { return c.SizeBytes / c.BlockBytes }
+
+// NumSets returns the number of sets.
+func (c Config) NumSets() int { return c.NumLines() / c.Assoc }
+
+// Stats accumulates access counters.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Fills     uint64 // misses that filled a previously empty frame
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit       bool
+	Set       int
+	Way       int
+	Frame     int    // Set*Assoc + Way
+	Latency   int    // cycles to satisfy at this level (hit latency; miss handled by caller)
+	Evicted   bool   // a valid block was displaced
+	VictimTag uint64 // line address of the displaced block, if Evicted
+}
+
+// line is one cache frame's metadata.
+type line struct {
+	tag      uint64 // full block-aligned address (we store the line address, not just the tag bits)
+	valid    bool
+	lastUsed uint64 // LRU timestamp
+	filled   uint64 // FIFO timestamp
+}
+
+// Cache is a set-associative cache with configurable replacement. It is a
+// functional model: it tracks presence and recency, not data contents.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	stats     Stats
+	tick      uint64 // logical access counter for recency
+	rngState  uint64 // xorshift64 state for Random replacement
+	indexMask uint64
+	blockLog2 uint
+}
+
+// New builds a cache from cfg, validating geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.NumSets()
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		rngState:  0x9E3779B97F4A7C15, // fixed seed: deterministic runs
+		indexMask: uint64(numSets - 1),
+		blockLog2: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors; for fixed hierarchies.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr converts a byte address to its block-aligned line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.blockLog2 }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int(c.LineAddr(addr) & c.indexMask)
+}
+
+// Access performs one access to byte address addr. On a miss the block is
+// filled (this model assumes the lower level always supplies it); the caller
+// adds lower-level latency based on Hit.
+func (c *Cache) Access(addr uint64) AccessResult {
+	lineAddr := c.LineAddr(addr)
+	setIdx := int(lineAddr & c.indexMask)
+	set := c.sets[setIdx]
+	c.tick++
+	c.stats.Accesses++
+
+	for w := range set {
+		if set[w].valid && set[w].tag == lineAddr {
+			set[w].lastUsed = c.tick
+			c.stats.Hits++
+			return AccessResult{
+				Hit:     true,
+				Set:     setIdx,
+				Way:     w,
+				Frame:   setIdx*c.cfg.Assoc + w,
+				Latency: c.cfg.HitLatency,
+			}
+		}
+	}
+
+	// Miss: pick a victim.
+	c.stats.Misses++
+	victim := c.pickVictim(set)
+	res := AccessResult{
+		Hit:     false,
+		Set:     setIdx,
+		Way:     victim,
+		Frame:   setIdx*c.cfg.Assoc + victim,
+		Latency: c.cfg.HitLatency,
+	}
+	if set[victim].valid {
+		res.Evicted = true
+		res.VictimTag = set[victim].tag
+		c.stats.Evictions++
+	} else {
+		c.stats.Fills++
+	}
+	set[victim] = line{tag: lineAddr, valid: true, lastUsed: c.tick, filled: c.tick}
+	return res
+}
+
+// Probe reports whether addr is resident without updating recency or stats.
+func (c *Cache) Probe(addr uint64) (frame int, resident bool) {
+	lineAddr := c.LineAddr(addr)
+	setIdx := int(lineAddr & c.indexMask)
+	for w, ln := range c.sets[setIdx] {
+		if ln.valid && ln.tag == lineAddr {
+			return setIdx*c.cfg.Assoc + w, true
+		}
+	}
+	return 0, false
+}
+
+// Flush invalidates all frames and clears recency state (stats are kept).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+func (c *Cache) pickVictim(set []line) int {
+	// Prefer an invalid way.
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Policy {
+	case LRU:
+		best := 0
+		for w := 1; w < len(set); w++ {
+			if set[w].lastUsed < set[best].lastUsed {
+				best = w
+			}
+		}
+		return best
+	case FIFO:
+		best := 0
+		for w := 1; w < len(set); w++ {
+			if set[w].filled < set[best].filled {
+				best = w
+			}
+		}
+		return best
+	case Random:
+		// xorshift64
+		x := c.rngState
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.rngState = x
+		return int(x % uint64(len(set)))
+	default:
+		return 0
+	}
+}
+
+// ResidentLines returns the number of currently valid frames; useful for
+// occupancy assertions in tests.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"testing"
+
+	"leakbound/internal/sim/trace"
+)
+
+func TestAlphaLikeValid(t *testing.T) {
+	hc := AlphaLike()
+	if err := hc.Validate(); err != nil {
+		t.Fatalf("AlphaLike invalid: %v", err)
+	}
+	if hc.L1I.NumLines() != 1024 {
+		t.Errorf("L1I lines = %d, want 1024 (64KB/64B)", hc.L1I.NumLines())
+	}
+	if hc.L1D.NumSets() != 512 {
+		t.Errorf("L1D sets = %d, want 512", hc.L1D.NumSets())
+	}
+	if hc.L2.Assoc != 1 || hc.L2.NumLines() != 32768 {
+		t.Errorf("L2 geometry wrong: assoc=%d lines=%d", hc.L2.Assoc, hc.L2.NumLines())
+	}
+	if hc.L1I.HitLatency != 1 || hc.L1D.HitLatency != 3 || hc.L2.HitLatency != 7 {
+		t.Error("latencies do not match the paper's Section 4.1")
+	}
+}
+
+func TestHierarchyValidateRejects(t *testing.T) {
+	hc := AlphaLike()
+	hc.MemoryLatency = -5
+	if err := hc.Validate(); err == nil {
+		t.Error("negative memory latency accepted")
+	}
+	hc = AlphaLike()
+	hc.L1D.BlockBytes = 32
+	if err := hc.Validate(); err == nil {
+		t.Error("mismatched block sizes accepted")
+	}
+	hc = AlphaLike()
+	hc.L1I.SizeBytes = 1000
+	if _, err := NewHierarchy(hc); err == nil {
+		t.Error("bad L1I accepted by NewHierarchy")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy(AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold fetch: L1I miss + L2 miss -> 1 + 7 + 100.
+	out := h.Fetch(0x40000)
+	if out.Latency != 1+7+100 {
+		t.Errorf("cold fetch latency = %d, want 108", out.Latency)
+	}
+	if !out.L2Used || out.L2.Hit {
+		t.Errorf("cold fetch L2 outcome wrong: %+v", out)
+	}
+	// Warm fetch: L1I hit -> 1.
+	out = h.Fetch(0x40000)
+	if out.Latency != 1 || out.L2Used {
+		t.Errorf("warm fetch: %+v", out)
+	}
+	// Cold load: 3 + 7 + 100.
+	out = h.Data(0x80000)
+	if out.Latency != 110 {
+		t.Errorf("cold load latency = %d, want 110", out.Latency)
+	}
+	// Warm load: 3.
+	out = h.Data(0x80000)
+	if out.Latency != 3 {
+		t.Errorf("warm load latency = %d, want 3", out.Latency)
+	}
+}
+
+func TestHierarchyL2HitPath(t *testing.T) {
+	h, err := NewHierarchy(AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load a block, then evict it from tiny L1D set by conflict while it
+	// stays in the huge L2, then reload: L1D miss + L2 hit -> 3 + 7.
+	base := uint64(0x100000)
+	h.Data(base)
+	// L1D is 64KB 2-way with 512 sets: conflict stride = 512 * 64 = 32KB.
+	h.Data(base + 32<<10)
+	h.Data(base + 64<<10) // evicts base from L1D
+	out := h.Data(base)
+	if out.Latency != 3+7 {
+		t.Errorf("L2-hit load latency = %d, want 10 (%+v)", out.Latency, out)
+	}
+	if !out.L2Used || !out.L2.Hit {
+		t.Errorf("expected L2 hit: %+v", out)
+	}
+}
+
+func TestHierarchySplitL1(t *testing.T) {
+	h, err := NewHierarchy(AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Fetch(0x1000)
+	// Same address via data port must miss L1D (split caches) but hit L2.
+	out := h.Data(0x1000)
+	if out.L1.Hit {
+		t.Error("data access hit in L1I-filled state: caches not split")
+	}
+	if !out.L2.Hit {
+		t.Error("unified L2 did not retain instruction-fetched block")
+	}
+}
+
+func TestCacheByID(t *testing.T) {
+	h, err := NewHierarchy(AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheByID(trace.L1I) != h.L1I() || h.CacheByID(trace.L1D) != h.L1D() || h.CacheByID(trace.L2) != h.L2() {
+		t.Error("CacheByID routing wrong")
+	}
+	if h.CacheByID(trace.CacheID(9)) != nil {
+		t.Error("bogus id returned a cache")
+	}
+}
+
+func BenchmarkHierarchyData(b *testing.B) {
+	h, err := NewHierarchy(AlphaLike())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(uint64(i%100000) * 64)
+	}
+}

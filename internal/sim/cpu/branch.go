@@ -1,0 +1,111 @@
+package cpu
+
+// Optional branch-prediction model. The paper's machine (a 21264 as
+// modelled by SimpleScalar) includes a branch predictor; the default
+// timing configuration here omits it — the interval distributions the
+// limit study consumes are insensitive to a uniform pipeline-refill tax —
+// but the model is available for sensitivity studies: enabling it adds a
+// misprediction penalty per control-flow discontinuity the predictor gets
+// wrong, stretching interval lengths non-uniformly on branchy code.
+//
+// The predictor is a classic bimodal table of 2-bit saturating counters
+// indexed by the branch's PC, predicting the direction of the transition
+// at the end of each fetch group (sequential fall-through vs. taken).
+
+// BranchConfig controls the optional predictor.
+type BranchConfig struct {
+	// Enabled turns the model on; when false the other fields are ignored
+	// and timing matches the paper-calibrated default exactly.
+	Enabled bool
+	// MispredictPenalty is the pipeline refill cost in cycles (the 21264
+	// pays ~7).
+	MispredictPenalty int
+	// TableBits sizes the bimodal table at 2^TableBits counters
+	// (default 12 -> 4096 entries).
+	TableBits int
+}
+
+// DefaultBranchConfig returns a 21264-ish predictor setup (disabled; set
+// Enabled to use it).
+func DefaultBranchConfig() BranchConfig {
+	return BranchConfig{MispredictPenalty: 7, TableBits: 12}
+}
+
+// validate normalizes the configuration.
+func (c *BranchConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.MispredictPenalty < 0 {
+		return errBranchPenalty
+	}
+	if c.TableBits <= 0 || c.TableBits > 24 {
+		return errBranchTable
+	}
+	return nil
+}
+
+var (
+	errBranchPenalty = errorString("cpu: negative mispredict penalty")
+	errBranchTable   = errorString("cpu: branch table bits outside (0, 24]")
+)
+
+// errorString is a tiny allocation-free error type.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// BranchStats reports the predictor's behaviour over a run.
+type BranchStats struct {
+	Branches    uint64 // fetch-group transitions observed
+	Mispredicts uint64
+}
+
+// MispredictRate returns Mispredicts/Branches.
+func (s BranchStats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// bimodal is the 2-bit saturating counter table.
+type bimodal struct {
+	counters []uint8
+	mask     uint64
+	stats    BranchStats
+}
+
+func newBimodal(bits int) *bimodal {
+	n := 1 << bits
+	c := make([]uint8, n)
+	// Initialize weakly taken: loops are the common case.
+	for i := range c {
+		c[i] = 2
+	}
+	return &bimodal{counters: c, mask: uint64(n - 1)}
+}
+
+// predictAndUpdate records the transition ending the group at pc (taken =
+// the next group is not sequential) and returns whether the prediction was
+// wrong.
+func (b *bimodal) predictAndUpdate(pc uint64, taken bool) bool {
+	idx := (pc >> 2) & b.mask
+	ctr := b.counters[idx]
+	predictedTaken := ctr >= 2
+	b.stats.Branches++
+	mispredict := predictedTaken != taken
+	if mispredict {
+		b.stats.Mispredicts++
+	}
+	if taken {
+		if ctr < 3 {
+			b.counters[idx] = ctr + 1
+		}
+	} else {
+		if ctr > 0 {
+			b.counters[idx] = ctr - 1
+		}
+	}
+	return mispredict
+}

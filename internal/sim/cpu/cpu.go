@@ -1,0 +1,261 @@
+// Package cpu implements the cycle-level timing core that stands in for
+// SimpleScalar's sim-alpha in the paper's methodology (Section 4.1): a
+// 4-wide in-order front end fetching through the L1 instruction cache, with
+// loads and stores going through the L1 data cache and a unified L2 behind
+// both. Misses stall the pipeline for the hierarchy latency; hits are fully
+// pipelined.
+//
+// The model's job is not absolute IPC fidelity — the limit study consumes
+// only the *timed cache-line access stream* — so the core is deliberately
+// simple: fetch groups of up to Width sequential instructions break at
+// I-cache line boundaries and control-flow discontinuities, each group costs
+// one cycle plus any miss stalls, and data accesses issue in program order
+// within their group.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
+)
+
+// Config controls the timing core.
+type Config struct {
+	// Width is the fetch width in instructions per cycle (the paper's
+	// machine is 4-wide).
+	Width int
+	// MaxInstrs bounds the dynamic instruction count; 0 means unlimited.
+	MaxInstrs uint64
+	// MaxCycles bounds simulated time; 0 means unlimited.
+	MaxCycles uint64
+	// Branch optionally enables the branch-prediction model (see
+	// branch.go); disabled by default to match the paper-calibrated
+	// timing.
+	Branch BranchConfig
+}
+
+// DefaultConfig returns the paper's 4-wide configuration with no bounds.
+func DefaultConfig() Config { return Config{Width: 4} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 {
+		return fmt.Errorf("cpu: non-positive width %d", c.Width)
+	}
+	return c.Branch.validate()
+}
+
+// Sink receives timed cache access events as the simulation runs. Events
+// arrive in non-decreasing cycle order.
+type Sink func(trace.Event)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+	FetchGroups  uint64
+	L1I          cache.Stats
+	L1D          cache.Stats
+	L2           cache.Stats
+	Branch       BranchStats
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Run simulates the workload through the hierarchy, pushing every L1I, L1D
+// and L2 access to sink (which may be nil to collect statistics only).
+func Run(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w == nil {
+		return Result{}, errors.New("cpu: nil workload")
+	}
+	if hier == nil {
+		return Result{}, errors.New("cpu: nil hierarchy")
+	}
+	m := &machine{cfg: cfg, hier: hier, sink: sink}
+	if cfg.Branch.Enabled {
+		m.predictor = newBimodal(cfg.Branch.TableBits)
+	}
+	w.Emit(m.consume)
+	m.flushGroup()
+	res := Result{
+		Cycles:       m.cycle,
+		Instructions: m.instrs,
+		FetchGroups:  m.groups,
+		L1I:          hier.L1I().Stats(),
+		L1D:          hier.L1D().Stats(),
+		L2:           hier.L2().Stats(),
+	}
+	if m.predictor != nil {
+		res.Branch = m.predictor.stats
+	}
+	return res, nil
+}
+
+// machine holds the in-flight fetch group and the cycle clock.
+type machine struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	sink Sink
+
+	cycle  uint64
+	instrs uint64
+	groups uint64
+
+	group     []workload.Instr
+	stopping  bool
+	predictor *bimodal
+	penalty   uint64 // pending mispredict refill cycles
+}
+
+// consume receives one instruction from the workload generator and returns
+// false once a configured bound is reached.
+func (m *machine) consume(in workload.Instr) bool {
+	if m.stopping {
+		return false
+	}
+	if len(m.group) > 0 {
+		last := m.group[len(m.group)-1]
+		sameLine := (in.PC >> 6) == (m.group[0].PC >> 6)
+		sequential := in.PC == last.PC+4
+		if len(m.group) >= m.cfg.Width || !sequential || !sameLine {
+			if m.predictor != nil {
+				// The group ends in a control transfer (taken) or a
+				// fall-through (not taken); a misprediction costs a
+				// pipeline refill before the next group fetches.
+				if m.predictor.predictAndUpdate(last.PC, !sequential) {
+					m.penalty += uint64(m.cfg.Branch.MispredictPenalty)
+				}
+			}
+			m.flushGroup()
+		}
+	}
+	m.group = append(m.group, in)
+	m.instrs++
+	if m.cfg.MaxInstrs > 0 && m.instrs >= m.cfg.MaxInstrs {
+		m.stopping = true
+		return false
+	}
+	if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
+		m.stopping = true
+		return false
+	}
+	return true
+}
+
+// flushGroup retires the pending fetch group, advancing the clock.
+func (m *machine) flushGroup() {
+	if len(m.group) == 0 {
+		return
+	}
+	m.groups++
+	m.cycle += m.penalty
+	m.penalty = 0
+	pc := m.group[0].PC
+	fetchCycle := m.cycle
+
+	out := m.hier.Fetch(pc)
+	m.emit(trace.Event{
+		Cycle:    fetchCycle,
+		LineAddr: pc >> 6,
+		Frame:    uint32(out.L1.Frame),
+		PC:       pc,
+		Cache:    trace.L1I,
+		Kind:     trace.Fetch,
+		Miss:     !out.L1.Hit,
+	})
+	if out.L2Used {
+		m.emit(trace.Event{
+			Cycle:    fetchCycle,
+			LineAddr: pc >> 6,
+			Frame:    uint32(out.L2.Frame),
+			PC:       pc,
+			Cache:    trace.L2,
+			Kind:     trace.Fetch,
+			Miss:     !out.L2.Hit,
+		})
+	}
+	if out.L1.Hit {
+		m.cycle++ // fetch fully pipelined
+	} else {
+		m.cycle += uint64(out.Latency) // stall for the refill
+	}
+
+	for _, in := range m.group {
+		if in.Kind == workload.Op {
+			continue
+		}
+		kind := trace.Load
+		if in.Kind == workload.Store {
+			kind = trace.Store
+		}
+		dout := m.hier.Data(in.Addr)
+		m.emit(trace.Event{
+			Cycle:    m.cycle,
+			LineAddr: in.Addr >> 6,
+			Frame:    uint32(dout.L1.Frame),
+			PC:       in.PC,
+			Cache:    trace.L1D,
+			Kind:     kind,
+			Miss:     !dout.L1.Hit,
+		})
+		if dout.L2Used {
+			m.emit(trace.Event{
+				Cycle:    m.cycle,
+				LineAddr: in.Addr >> 6,
+				Frame:    uint32(dout.L2.Frame),
+				PC:       in.PC,
+				Cache:    trace.L2,
+				Kind:     kind,
+				Miss:     !dout.L2.Hit,
+			})
+		}
+		if !dout.L1.Hit {
+			// Stall for the portion beyond the pipelined L1 hit latency.
+			m.cycle += uint64(dout.Latency - m.hier.Config().L1D.HitLatency)
+		}
+	}
+	m.group = m.group[:0]
+}
+
+func (m *machine) emit(e trace.Event) {
+	if m.sink != nil {
+		m.sink(e)
+	}
+}
+
+// RunToStream is a convenience wrapper that collects all events for one
+// cache into an in-memory trace.Stream; intended for tests and small tools,
+// not full-length runs.
+func RunToStream(w workload.Workload, hier *cache.Hierarchy, cfg Config, id trace.CacheID) (*trace.Stream, Result, error) {
+	s := &trace.Stream{}
+	res, err := Run(w, hier, cfg, func(e trace.Event) {
+		if e.Cache == id {
+			if err := s.Append(e); err != nil {
+				panic(err) // Run guarantees monotone cycles; a failure here is a bug
+			}
+		}
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if res.Cycles > s.TotalCycles {
+		s.TotalCycles = res.Cycles
+	}
+	c := hier.CacheByID(id)
+	if c != nil {
+		s.NumFrames = uint32(c.Config().NumLines())
+	}
+	return s, res, nil
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the binary codec; it must never panic
+// and must either return a valid stream or an error.
+func FuzzRead(f *testing.F) {
+	// Seed with a real trace and some mutations.
+	var s Stream
+	for i := uint64(0); i < 20; i++ {
+		_ = s.Append(Event{Cycle: i * 3, LineAddr: i, Frame: uint32(i % 8), Cache: L1D, Kind: Load})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, &s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LKBTRC01"))
+	f.Add(append(append([]byte{}, magic[:]...), make([]byte, 20)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode identically.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-encode of decoded stream failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Events) != len(got.Events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(again.Events), len(got.Events))
+		}
+	})
+}

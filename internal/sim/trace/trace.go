@@ -1,0 +1,293 @@
+// Package trace defines the timed memory-access event stream that flows from
+// the timing simulator (internal/sim/cpu) into the interval analyzer
+// (internal/interval) and the prefetchability classifier (internal/prefetch).
+//
+// In the paper's methodology this corresponds to the address trace with cycle
+// timing produced by SimpleScalar; the limit study consumes nothing else.
+// Events are emitted at cache-line granularity for a specific cache (L1I,
+// L1D, or L2) and carry the frame the line landed in, so downstream analysis
+// can reconstruct per-frame access intervals exactly.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CacheID identifies which cache in the simulated hierarchy an event
+// belongs to.
+type CacheID uint8
+
+const (
+	// L1I is the level-1 instruction cache (64KB 2-way in the paper's setup).
+	L1I CacheID = iota
+	// L1D is the level-1 data cache (64KB 2-way, 3-cycle hit).
+	L1D
+	// L2 is the unified level-2 cache (2MB direct-mapped, 7-cycle hit).
+	L2
+	numCacheIDs
+)
+
+// String implements fmt.Stringer.
+func (c CacheID) String() string {
+	switch c {
+	case L1I:
+		return "L1I"
+	case L1D:
+		return "L1D"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("CacheID(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c names a real cache.
+func (c CacheID) Valid() bool { return c < numCacheIDs }
+
+// Kind distinguishes the access type that produced an event.
+type Kind uint8
+
+const (
+	// Fetch is an instruction fetch.
+	Fetch Kind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fetch:
+		return "fetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k names a real access kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Event is one cache access with timing. LineAddr is the block-aligned
+// address (address >> log2(blockSize)); Frame is the physical frame index
+// (set*assoc + way) the block occupies after the access, which is what the
+// interval analysis keys on, since leakage is per physical cache line.
+type Event struct {
+	Cycle    uint64  // completion cycle of the access
+	LineAddr uint64  // block-aligned memory address
+	Frame    uint32  // physical frame index in the cache
+	PC       uint64  // static instruction address (for stride prefetch)
+	Cache    CacheID // which cache
+	Kind     Kind    // fetch / load / store
+	Miss     bool    // true if the access missed in this cache
+}
+
+// Validate checks internal consistency of the event.
+func (e Event) Validate() error {
+	if !e.Cache.Valid() {
+		return fmt.Errorf("trace: invalid cache id %d", e.Cache)
+	}
+	if !e.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Stream is an in-memory sequence of events ordered by cycle, plus the
+// total simulated cycle count (needed to close trailing intervals).
+type Stream struct {
+	Events      []Event
+	TotalCycles uint64
+	NumFrames   uint32 // frames in the traced cache (lines), for baselines
+}
+
+// Append adds an event, enforcing cycle monotonicity (events may share a
+// cycle; a superscalar core accesses several lines per cycle).
+func (s *Stream) Append(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if n := len(s.Events); n > 0 && e.Cycle < s.Events[n-1].Cycle {
+		return fmt.Errorf("trace: non-monotonic cycle %d after %d", e.Cycle, s.Events[n-1].Cycle)
+	}
+	s.Events = append(s.Events, e)
+	if e.Cycle >= s.TotalCycles {
+		s.TotalCycles = e.Cycle + 1
+	}
+	return nil
+}
+
+// Len returns the number of events.
+func (s *Stream) Len() int { return len(s.Events) }
+
+// FilterCache returns a new stream containing only events for the given
+// cache, sharing the cycle horizon of the original.
+func (s *Stream) FilterCache(c CacheID) *Stream {
+	out := &Stream{TotalCycles: s.TotalCycles, NumFrames: s.NumFrames}
+	for _, e := range s.Events {
+		if e.Cache == c {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// Validate checks ordering and per-event consistency of the whole stream.
+func (s *Stream) Validate() error {
+	var prev uint64
+	for i, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if e.Cycle < prev {
+			return fmt.Errorf("trace: event %d cycle %d < previous %d", i, e.Cycle, prev)
+		}
+		if e.Cycle >= s.TotalCycles {
+			return fmt.Errorf("trace: event %d cycle %d beyond horizon %d", i, e.Cycle, s.TotalCycles)
+		}
+		prev = e.Cycle
+	}
+	return nil
+}
+
+// Binary codec
+//
+// The on-disk format is a little-endian fixed header followed by
+// delta-encoded event records. Cycles are stored as varint deltas from the
+// previous event, line addresses and PCs as varints, so loop-heavy traces
+// compress well without any external dependency.
+
+var magic = [8]byte{'L', 'K', 'B', 'T', 'R', 'C', '0', '1'}
+
+// Write serializes the stream to w.
+func Write(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8 + 8 + 4]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(s.Events)))
+	binary.LittleEndian.PutUint64(hdr[8:], s.TotalCycles)
+	binary.LittleEndian.PutUint32(hdr[16:], s.NumFrames)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	var prevCycle uint64
+	for i := range s.Events {
+		e := &s.Events[i]
+		n := binary.PutUvarint(buf[:], e.Cycle-prevCycle)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevCycle = e.Cycle
+		n = binary.PutUvarint(buf[:], e.LineAddr)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(e.Frame))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], e.PC)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		flags := byte(e.Cache) | byte(e.Kind)<<2
+		if e.Miss {
+			flags |= 1 << 4
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a stream previously written with Write.
+func Read(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic, not a leakbound trace")
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[0:])
+	const maxEvents = 1 << 32
+	if count > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	// The count is attacker-controlled until the payload actually decodes:
+	// cap the allocation hint and let append grow the slice as real
+	// records arrive (a truncated file then fails fast on ReadUvarint
+	// instead of pre-allocating gigabytes).
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	s := &Stream{
+		Events:      make([]Event, 0, capHint),
+		TotalCycles: binary.LittleEndian.Uint64(hdr[8:]),
+		NumFrames:   binary.LittleEndian.Uint32(hdr[16:]),
+	}
+	var cycle uint64
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d cycle: %w", i, err)
+		}
+		cycle += delta
+		lineAddr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d lineaddr: %w", i, err)
+		}
+		frame, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d frame: %w", i, err)
+		}
+		if frame > 0xFFFFFFFF {
+			return nil, fmt.Errorf("trace: event %d frame %d overflows uint32", i, frame)
+		}
+		pc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d pc: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d flags: %w", i, err)
+		}
+		e := Event{
+			Cycle:    cycle,
+			LineAddr: lineAddr,
+			Frame:    uint32(frame),
+			PC:       pc,
+			Cache:    CacheID(flags & 0x3),
+			Kind:     Kind((flags >> 2) & 0x3),
+			Miss:     flags&(1<<4) != 0,
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

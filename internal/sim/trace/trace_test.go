@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheIDString(t *testing.T) {
+	cases := map[CacheID]string{L1I: "L1I", L1D: "L1D", L2: "L2", CacheID(9): "CacheID(9)"}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", id, got, want)
+		}
+	}
+	if !L1I.Valid() || !L2.Valid() || CacheID(3).Valid() {
+		t.Error("CacheID.Valid wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Fetch: "fetch", Load: "load", Store: "store", Kind(7): "Kind(7)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", k, got, want)
+		}
+	}
+	if !Fetch.Valid() || Kind(3).Valid() {
+		t.Error("Kind.Valid wrong")
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	if err := (Event{Cache: L1D, Kind: Load}).Validate(); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	if err := (Event{Cache: CacheID(5)}).Validate(); err == nil {
+		t.Error("bad cache accepted")
+	}
+	if err := (Event{Kind: Kind(5)}).Validate(); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestStreamAppendOrdering(t *testing.T) {
+	var s Stream
+	if err := s.Append(Event{Cycle: 10, Cache: L1I, Kind: Fetch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Event{Cycle: 10, Cache: L1D, Kind: Load}); err != nil {
+		t.Errorf("same-cycle append rejected: %v", err)
+	}
+	if err := s.Append(Event{Cycle: 9, Cache: L1D, Kind: Load}); err == nil {
+		t.Error("backwards cycle accepted")
+	}
+	if s.TotalCycles != 11 {
+		t.Errorf("TotalCycles = %d, want 11", s.TotalCycles)
+	}
+	if err := s.Append(Event{Cycle: 5, Cache: CacheID(9)}); err == nil {
+		t.Error("invalid event accepted")
+	}
+}
+
+func TestStreamFilterCache(t *testing.T) {
+	var s Stream
+	for i := uint64(0); i < 10; i++ {
+		c := L1I
+		if i%2 == 1 {
+			c = L1D
+		}
+		if err := s.Append(Event{Cycle: i, Cache: c, Kind: Fetch}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.NumFrames = 77
+	d := s.FilterCache(L1D)
+	if d.Len() != 5 {
+		t.Errorf("filtered len = %d, want 5", d.Len())
+	}
+	if d.TotalCycles != s.TotalCycles || d.NumFrames != 77 {
+		t.Error("filter dropped horizon metadata")
+	}
+	for _, e := range d.Events {
+		if e.Cache != L1D {
+			t.Errorf("foreign event in filtered stream: %v", e)
+		}
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	s := &Stream{
+		Events:      []Event{{Cycle: 5, Cache: L1I}, {Cycle: 3, Cache: L1I}},
+		TotalCycles: 10,
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-order stream validated")
+	}
+	s = &Stream{Events: []Event{{Cycle: 15, Cache: L1I}}, TotalCycles: 10}
+	if err := s.Validate(); err == nil {
+		t.Error("event beyond horizon validated")
+	}
+	s = &Stream{Events: []Event{{Cycle: 1, Cache: L1I}}, TotalCycles: 10}
+	if err := s.Validate(); err != nil {
+		t.Errorf("good stream rejected: %v", err)
+	}
+}
+
+func randomStream(rng *rand.Rand, n int) *Stream {
+	s := &Stream{NumFrames: uint32(rng.Intn(4096) + 1)}
+	cycle := uint64(0)
+	for i := 0; i < n; i++ {
+		cycle += uint64(rng.Intn(100))
+		e := Event{
+			Cycle:    cycle,
+			LineAddr: rng.Uint64() >> 6,
+			Frame:    uint32(rng.Intn(2048)),
+			PC:       rng.Uint64() >> 20,
+			Cache:    CacheID(rng.Intn(3)),
+			Kind:     Kind(rng.Intn(3)),
+			Miss:     rng.Intn(4) == 0,
+		}
+		if err := s.Append(e); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 17, 1000} {
+		s := randomStream(rng, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("write n=%d: %v", n, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("read n=%d: %v", n, err)
+		}
+		if got.TotalCycles != s.TotalCycles || got.NumFrames != s.NumFrames {
+			t.Errorf("n=%d metadata mismatch", n)
+		}
+		if len(got.Events) != len(s.Events) {
+			t.Fatalf("n=%d event count %d != %d", n, len(got.Events), len(s.Events))
+		}
+		for i := range s.Events {
+			if !reflect.DeepEqual(got.Events[i], s.Events[i]) {
+				t.Fatalf("n=%d event %d: got %+v want %+v", n, i, got.Events[i], s.Events[i])
+			}
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomStream(rng, int(nRaw))
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Events, s.Events) || (len(got.Events) == 0 && len(s.Events) == 0)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all...")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("LKBTRC01")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// valid magic + header claiming events, but no payload
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	hdr := make([]byte, 20)
+	hdr[0] = 5 // 5 events
+	buf.Write(hdr)
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestReadRejectsImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	hdr := make([]byte, 20)
+	for i := 0; i < 8; i++ {
+		hdr[i] = 0xFF
+	}
+	buf.Write(hdr)
+	if _, err := Read(&buf); err == nil {
+		t.Error("absurd event count accepted")
+	}
+}
+
+func BenchmarkStreamAppend(b *testing.B) {
+	var s Stream
+	for i := 0; i < b.N; i++ {
+		_ = s.Append(Event{Cycle: uint64(i), Cache: L1D, Kind: Load, LineAddr: uint64(i)})
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomStream(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomStream(rng, 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package stats provides the small statistical toolkit used throughout
+// leakbound: streaming summaries, fixed- and log-bucketed histograms, and
+// weighted aggregation helpers.
+//
+// The experiment harness relies on these types to summarize cache access
+// interval distributions (Section 3.1 of the paper) and to average results
+// across benchmarks, so they are written for exactness and reproducibility
+// rather than raw speed: all accumulation is in float64 with compensated
+// summation where it matters.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations and reports the usual
+// moments. The zero value is ready to use.
+type Summary struct {
+	n    int64
+	sum  float64
+	comp float64 // Kahan compensation for sum
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	// Kahan summation: keeps benchmark-averaging stable when mixing very
+	// long (1e9-cycle) and very short intervals.
+	y := x - s.comp
+	t := s.sum + y
+	s.comp = (t - s.sum) - y
+	s.sum = t
+	s.sum2 += x * x
+}
+
+// AddN records the observation x with integer multiplicity n.
+func (s *Summary) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n += n
+	fn := float64(n)
+	y := x*fn - s.comp
+	t := s.sum + y
+	s.comp = (t - s.sum) - y
+	s.sum = t
+	s.sum2 += x * x * fn
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.sum2 += other.sum2
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the population variance, or 0 for fewer than 2 samples.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // numerical noise
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders a compact human-readable form.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Histogram is a bucketed counter over a partition of [0, +inf) described by
+// ascending bucket upper bounds. An observation x lands in the first bucket
+// whose bound is >= x; values above the last bound land in the overflow
+// bucket. Counts carry int64 multiplicities so interval populations in the
+// hundreds of millions are exact.
+type Histogram struct {
+	bounds   []float64
+	counts   []int64
+	overflow int64
+	total    int64
+	weighted float64 // sum of x*count, for mass-weighted shares
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: bounds not ascending at %d (%g <= %g)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b))}, nil
+}
+
+// MustHistogram is NewHistogram that panics on bad bounds; for package-level
+// fixed bucket tables.
+func MustHistogram(bounds []float64) *Histogram {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewLogHistogram builds buckets at powers of base from lo up to hi
+// inclusive (e.g. lo=1, hi=1e6, base=2 -> 1,2,4,...).
+func NewLogHistogram(lo, hi, base float64) (*Histogram, error) {
+	if lo <= 0 || hi <= lo || base <= 1 {
+		return nil, fmt.Errorf("stats: bad log histogram spec lo=%g hi=%g base=%g", lo, hi, base)
+	}
+	var bounds []float64
+	for x := lo; x <= hi*(1+1e-12); x *= base {
+		bounds = append(bounds, x)
+	}
+	return NewHistogram(bounds)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records x with multiplicity n.
+func (h *Histogram) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.total += n
+	h.weighted += x * float64(n)
+	i := sort.SearchFloat64s(h.bounds, x)
+	if i == len(h.bounds) {
+		h.overflow += n
+		return
+	}
+	h.counts[i] += n
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// WeightedTotal returns sum(x * multiplicity) over all observations.
+func (h *Histogram) WeightedTotal() float64 { return h.weighted }
+
+// Buckets returns copies of the bounds and counts; the final returned count
+// is the overflow bucket (bound +Inf).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(bounds)-1] = math.Inf(1)
+	counts = make([]int64, len(h.counts)+1)
+	copy(counts, h.counts)
+	counts[len(counts)-1] = h.overflow
+	return bounds, counts
+}
+
+// CountAtMost returns how many observations were <= bound; bound must be one
+// of the configured bounds or +Inf.
+func (h *Histogram) CountAtMost(bound float64) int64 {
+	if math.IsInf(bound, 1) {
+		return h.total
+	}
+	i := sort.SearchFloat64s(h.bounds, bound)
+	if i == len(h.bounds) || h.bounds[i] != bound {
+		return -1
+	}
+	var c int64
+	for j := 0; j <= i; j++ {
+		c += h.counts[j]
+	}
+	return c
+}
+
+// Share returns the fraction of observations in (lower, upper]; lower may be
+// 0 and upper may be +Inf.
+func (h *Histogram) Share(lower, upper float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	hi := h.CountAtMost(upper)
+	var lo int64
+	if lower > 0 {
+		lo = h.CountAtMost(lower)
+	}
+	if hi < 0 || lo < 0 {
+		return math.NaN()
+	}
+	return float64(hi-lo) / float64(h.total)
+}
+
+// Quantile returns the smallest bucket bound q of the mass sits at or below,
+// a coarse quantile suitable for bucketed data. q must be in [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var c int64
+	for i, n := range h.counts {
+		c += n
+		if c >= target {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// Percentile computes an exact percentile of a sample slice (p in [0,100]),
+// using linear interpolation between closest ranks. The input is not
+// modified.
+func Percentile(sample []float64, p float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, errors.New("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of [0,100]", p)
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i). It errors on mismatched
+// lengths or non-positive total weight.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, fmt.Errorf("stats: weighted mean length mismatch %d vs %d", len(xs), len(ws))
+	}
+	var num, den float64
+	for i, x := range xs {
+		if ws[i] < 0 {
+			return 0, fmt.Errorf("stats: negative weight %g at %d", ws[i], i)
+		}
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, errors.New("stats: zero total weight")
+	}
+	return num / den, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: geomean of empty slice")
+	}
+	var s float64
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %g at %d", x, i)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty summary not all-zero: %s", s.String())
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d, want 5", s.N())
+	}
+	if !almostEqual(s.Mean(), 3, 1e-12) {
+		t.Errorf("Mean = %g, want 3", s.Mean())
+	}
+	if !almostEqual(s.Variance(), 2, 1e-12) {
+		t.Errorf("Variance = %g, want 2", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want 1/5", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Errorf("Sum = %g, want 15", s.Sum())
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	for i := 0; i < 7; i++ {
+		a.Add(4.5)
+	}
+	b.AddN(4.5, 7)
+	if a.N() != b.N() || !almostEqual(a.Sum(), b.Sum(), 1e-12) || !almostEqual(a.Variance(), b.Variance(), 1e-9) {
+		t.Errorf("AddN mismatch: %s vs %s", a.String(), b.String())
+	}
+	b.AddN(1, 0)  // no-op
+	b.AddN(1, -3) // no-op
+	if b.N() != 7 {
+		t.Errorf("non-positive multiplicity changed N: %d", b.N())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	for i, x := range data {
+		all.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || !almostEqual(a.Mean(), all.Mean(), 1e-12) ||
+		!almostEqual(a.Variance(), all.Variance(), 1e-9) ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merge mismatch: %s vs %s", a.String(), all.String())
+	}
+	var empty Summary
+	a.Merge(&empty) // no-op
+	if a.N() != all.N() {
+		t.Errorf("merging empty changed N")
+	}
+	var c Summary
+	c.Merge(&all)
+	if c.N() != all.N() || c.Mean() != all.Mean() {
+		t.Errorf("merge into empty mismatch")
+	}
+}
+
+func TestSummaryMergeMatchesConcat(t *testing.T) {
+	f := func(xs, ys []int32) bool {
+		var a, b, all Summary
+		for _, x := range xs {
+			a.Add(float64(x))
+			all.Add(float64(x))
+		}
+		for _, y := range ys {
+			b.Add(float64(y))
+			all.Add(float64(y))
+		}
+		a.Merge(&b)
+		return a.N() == all.N() && almostEqual(a.Sum(), all.Sum(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHistogram did not panic on bad bounds")
+		}
+	}()
+	MustHistogram([]float64{5, 5})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := MustHistogram([]float64{6, 1057})
+	h.Add(1)       // -> bucket (0,6]
+	h.Add(6)       // boundary -> (0,6]
+	h.Add(7)       // -> (6,1057]
+	h.Add(1057)    // boundary -> (6,1057]
+	h.Add(1058)    // -> overflow
+	h.AddN(1e6, 3) // -> overflow x3
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 3 {
+		t.Fatalf("buckets len = %d/%d, want 3/3", len(bounds), len(counts))
+	}
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 4 {
+		t.Errorf("counts = %v, want [2 2 4]", counts)
+	}
+	if !math.IsInf(bounds[2], 1) {
+		t.Errorf("last bound = %g, want +Inf", bounds[2])
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramShare(t *testing.T) {
+	h := MustHistogram([]float64{6, 1057})
+	for i := 0; i < 10; i++ {
+		h.Add(3)
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(100)
+	}
+	for i := 0; i < 60; i++ {
+		h.Add(5000)
+	}
+	if got := h.Share(0, 6); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("Share(0,6] = %g, want 0.1", got)
+	}
+	if got := h.Share(6, 1057); !almostEqual(got, 0.3, 1e-12) {
+		t.Errorf("Share(6,1057] = %g, want 0.3", got)
+	}
+	if got := h.Share(1057, math.Inf(1)); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("Share(1057,inf) = %g, want 0.6", got)
+	}
+	if got := h.Share(7, 100); !math.IsNaN(got) {
+		t.Errorf("Share at non-bound = %g, want NaN", got)
+	}
+}
+
+func TestHistogramCountAtMost(t *testing.T) {
+	h := MustHistogram([]float64{10, 20, 30})
+	h.AddN(5, 2)
+	h.AddN(15, 3)
+	h.AddN(25, 4)
+	h.AddN(99, 5)
+	if c := h.CountAtMost(10); c != 2 {
+		t.Errorf("CountAtMost(10) = %d, want 2", c)
+	}
+	if c := h.CountAtMost(20); c != 5 {
+		t.Errorf("CountAtMost(20) = %d, want 5", c)
+	}
+	if c := h.CountAtMost(math.Inf(1)); c != 14 {
+		t.Errorf("CountAtMost(inf) = %d, want 14", c)
+	}
+	if c := h.CountAtMost(11); c != -1 {
+		t.Errorf("CountAtMost at non-bound = %d, want -1", c)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h, err := NewLogHistogram(1, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := h.Buckets()
+	want := []float64{1, 2, 4, 8}
+	for i, b := range want {
+		if bounds[i] != b {
+			t.Errorf("bound[%d] = %g, want %g", i, bounds[i], b)
+		}
+	}
+	if _, err := NewLogHistogram(0, 8, 2); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewLogHistogram(1, 8, 1); err == nil {
+		t.Error("base=1 accepted")
+	}
+	if _, err := NewLogHistogram(8, 1, 2); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustHistogram([]float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%4) + 0.5)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %g, want 2", q)
+	}
+	if q := h.Quantile(1.0); q != 4 {
+		t.Errorf("Quantile(1.0) = %g, want 4", q)
+	}
+	var empty Histogram
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("quantile of empty histogram not NaN")
+	}
+}
+
+func TestHistogramSharesSumToOne(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := MustHistogram([]float64{6, 1057})
+		for _, r := range raw {
+			h.Add(float64(r) + 0.5)
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		total := h.Share(0, 6) + h.Share(6, 1057) + h.Share(1057, math.Inf(1))
+		return almostEqual(total, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sample := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(sample, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// input must not be mutated
+	if sample[0] != 15 || sample[4] != 50 {
+		t.Error("Percentile mutated input")
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Percentile(sample, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile(sample, 101); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	got, err := Percentile([]float64{42}, 73)
+	if err != nil || got != 42 {
+		t.Errorf("Percentile single = %g, %v", got, err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if err != nil || got != 2 {
+		t.Errorf("WeightedMean = %g, %v; want 2", got, err)
+	}
+	got, err = WeightedMean([]float64{10, 20}, []float64{3, 1})
+	if err != nil || !almostEqual(got, 12.5, 1e-12) {
+		t.Errorf("WeightedMean = %g, %v; want 12.5", got, err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %g", m)
+	}
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Errorf("Mean = %g, want 4", m)
+	}
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil || !almostEqual(g, 10, 1e-9) {
+		t.Errorf("GeoMean = %g, %v; want 10", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean accepted zero")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean accepted empty")
+	}
+}
+
+func TestSummaryPropertyMeanWithinBounds(t *testing.T) {
+	f := func(xs []int32) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			s.Add(float64(x))
+		}
+		if s.N() > 0 {
+			m := s.Mean()
+			ok = m >= s.Min()-1e-9*math.Abs(s.Min())-1e-9 &&
+				m <= s.Max()+1e-9*math.Abs(s.Max())+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := MustHistogram([]float64{6, 64, 512, 1057, 8192, 65536})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i & 65535))
+	}
+}

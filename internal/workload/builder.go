@@ -1,0 +1,255 @@
+package workload
+
+// Builder: a public, composable way to construct custom workloads from the
+// same kernels the SPEC2000 stand-ins use. A downstream user studying their
+// own application's leakage potential describes it as phases of loop nests
+// over access patterns — sequential streams, strided sweeps, pointer
+// chases, hot scalars — and gets a deterministic Workload that plugs into
+// the simulator and the whole experiment pipeline.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pattern is a data access pattern a phase can reference.
+type Pattern interface {
+	// next returns the next address of the pattern.
+	next() uint64
+}
+
+// patternFunc adapts a closure.
+type patternFunc func() uint64
+
+func (f patternFunc) next() uint64 { return f() }
+
+// Builder accumulates phases and produces a Workload.
+type Builder struct {
+	name   string
+	code   *codeLayout
+	region int
+	phases []builderPhase
+	err    error
+}
+
+// builderPhase is one (loop body x iterations) unit.
+type builderPhase struct {
+	body   routine
+	iters  int
+	every  int
+	refs   []refSpec
+	hotIdx int
+}
+
+// refSpec is one reference slot in a phase's rotation.
+type refSpec struct {
+	pattern Pattern
+	store   bool
+	weight  int
+}
+
+// NewBuilder starts a workload named name. Code regions are carved from
+// the standard text base; data regions from the standard data segment.
+func NewBuilder(name string) *Builder {
+	if name == "" {
+		name = "custom"
+	}
+	return &Builder{
+		name: name,
+		code: newCodeLayout(textBase),
+	}
+}
+
+// dataRegionFor hands out non-overlapping data regions.
+func (b *Builder) nextRegion() uint64 {
+	r := dataRegion(16 + b.region) // past the built-in benchmarks' regions
+	b.region++
+	return r
+}
+
+// Sequential returns a pattern streaming through size bytes with the given
+// stride, wrapping at the end.
+func (b *Builder) Sequential(size, stride uint64) Pattern {
+	if b.err != nil {
+		return patternFunc(func() uint64 { return 0 })
+	}
+	if size == 0 || stride == 0 {
+		b.err = errors.New("workload: sequential pattern needs size and stride")
+		return patternFunc(func() uint64 { return 0 })
+	}
+	c := newSeqCursor(b.nextRegion(), size, stride)
+	return patternFunc(c.next)
+}
+
+// Strided returns a blocked multi-line-stride pattern (the CFD shape that
+// only stride prefetching predicts).
+func (b *Builder) Strided(regionSize, blockSize, stride uint64, passes int) Pattern {
+	if b.err != nil {
+		return patternFunc(func() uint64 { return 0 })
+	}
+	if regionSize == 0 || blockSize == 0 || blockSize > regionSize || stride == 0 || passes <= 0 {
+		b.err = errors.New("workload: bad strided pattern geometry")
+		return patternFunc(func() uint64 { return 0 })
+	}
+	w := newStrideWalker(b.nextRegion(), regionSize, blockSize, stride, passes)
+	return patternFunc(w.next)
+}
+
+// Chase returns a pointer-chasing pattern over elems records of elemBytes
+// (a full-cycle pseudo-random permutation — defeats all prefetching).
+func (b *Builder) Chase(elems int, elemBytes uint64, seed uint64) Pattern {
+	if b.err != nil {
+		return patternFunc(func() uint64 { return 0 })
+	}
+	if elems <= 0 || elemBytes == 0 {
+		b.err = errors.New("workload: bad chase pattern geometry")
+		return patternFunc(func() uint64 { return 0 })
+	}
+	t := newChaseTable(b.nextRegion(), elems, elemBytes, seed)
+	return patternFunc(t.next)
+}
+
+// Hot returns a hot-scalar pattern: bursts of loads/stores to a small set
+// of lines (stack, accumulators).
+func (b *Builder) Hot(lines int) Pattern {
+	if b.err != nil {
+		return patternFunc(func() uint64 { return 0 })
+	}
+	if lines <= 0 {
+		b.err = errors.New("workload: hot pattern needs lines")
+		return patternFunc(func() uint64 { return 0 })
+	}
+	h := newHotCursor(b.nextRegion(), lines)
+	return patternFunc(func() uint64 { return h.next().addr })
+}
+
+// PhaseSpec describes one phase of the workload.
+type PhaseSpec struct {
+	// BodyInstrs is the loop body length in instructions (its cache lines
+	// are this phase's code footprint).
+	BodyInstrs int
+	// Iterations executes the body this many times.
+	Iterations int
+	// MemEvery places one memory reference every N instructions
+	// (default 3: the ~1/3 load/store density of real code).
+	MemEvery int
+	// Loads and Stores give the access patterns the references rotate
+	// through; Weights (optional, parallel to Loads then Stores) bias the
+	// rotation. At least one pattern is required.
+	Loads  []Pattern
+	Stores []Pattern
+	// Weights, if non-nil, must have len(Loads)+len(Stores) entries.
+	Weights []int
+}
+
+// Phase appends a phase; call Build to finalize.
+func (b *Builder) Phase(spec PhaseSpec) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if spec.BodyInstrs <= 0 || spec.Iterations <= 0 {
+		b.err = fmt.Errorf("workload: phase needs positive body (%d) and iterations (%d)",
+			spec.BodyInstrs, spec.Iterations)
+		return b
+	}
+	if len(spec.Loads)+len(spec.Stores) == 0 {
+		b.err = errors.New("workload: phase needs at least one access pattern")
+		return b
+	}
+	if spec.Weights != nil && len(spec.Weights) != len(spec.Loads)+len(spec.Stores) {
+		b.err = fmt.Errorf("workload: %d weights for %d patterns",
+			len(spec.Weights), len(spec.Loads)+len(spec.Stores))
+		return b
+	}
+	every := spec.MemEvery
+	if every <= 0 {
+		every = 3
+	}
+	var refs []refSpec
+	idx := 0
+	for _, p := range spec.Loads {
+		w := 1
+		if spec.Weights != nil {
+			w = spec.Weights[idx]
+		}
+		if w <= 0 {
+			b.err = fmt.Errorf("workload: non-positive weight at %d", idx)
+			return b
+		}
+		refs = append(refs, refSpec{pattern: p, weight: w})
+		idx++
+	}
+	for _, p := range spec.Stores {
+		w := 1
+		if spec.Weights != nil {
+			w = spec.Weights[idx]
+		}
+		if w <= 0 {
+			b.err = fmt.Errorf("workload: non-positive weight at %d", idx)
+			return b
+		}
+		refs = append(refs, refSpec{pattern: p, store: true, weight: w})
+		idx++
+	}
+	b.phases = append(b.phases, builderPhase{
+		body:  b.code.routine(spec.BodyInstrs),
+		iters: spec.Iterations,
+		every: every,
+		refs:  refs,
+	})
+	return b
+}
+
+// Build finalizes the workload; it errors if any prior step failed.
+func (b *Builder) Build() (Workload, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.phases) == 0 {
+		return nil, errors.New("workload: no phases")
+	}
+	return &builtWorkload{name: b.name, phases: b.phases}, nil
+}
+
+// builtWorkload replays the composed phases.
+type builtWorkload struct {
+	name   string
+	phases []builderPhase
+}
+
+func (w *builtWorkload) Name() string { return w.name }
+
+func (w *builtWorkload) Description() string {
+	return fmt.Sprintf("custom workload (%d phases)", len(w.phases))
+}
+
+func (w *builtWorkload) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	for pi := range w.phases {
+		ph := &w.phases[pi]
+		// Weighted rotation over the phase's patterns; deterministic.
+		total := 0
+		for _, r := range ph.refs {
+			total += r.weight
+		}
+		pick := func(k int) refSpec {
+			slot := k % total
+			for _, r := range ph.refs {
+				if slot < r.weight {
+					return r
+				}
+				slot -= r.weight
+			}
+			return ph.refs[len(ph.refs)-1]
+		}
+		for it := 0; it < ph.iters && !e.stopped; it++ {
+			ph.body.execRefs(e, ph.every, func(k int) access {
+				r := pick(k)
+				if r.store {
+					return st(r.pattern.next())
+				}
+				return ld(r.pattern.next())
+			})
+		}
+	}
+}

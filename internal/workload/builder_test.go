@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder("toy")
+	hot := b.Hot(8)
+	stream := b.Sequential(1<<20, 64)
+	w, err := b.Phase(PhaseSpec{
+		BodyInstrs: 120,
+		Iterations: 50,
+		Loads:      []Pattern{hot, stream},
+		Stores:     []Pattern{hot},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "toy" {
+		t.Errorf("name = %q", w.Name())
+	}
+	total, memFrac := Count(w)
+	if total != 120*50 {
+		t.Errorf("total = %d, want 6000", total)
+	}
+	if memFrac < 0.25 || memFrac > 0.4 {
+		t.Errorf("mem fraction %g, want ~1/3", memFrac)
+	}
+}
+
+func TestBuilderDeterministic(t *testing.T) {
+	build := func() Workload {
+		b := NewBuilder("det")
+		chase := b.Chase(1024, 64, 42)
+		hot := b.Hot(4)
+		w, err := b.Phase(PhaseSpec{
+			BodyInstrs: 60, Iterations: 100,
+			Loads: []Pattern{chase, hot}, Weights: []int{1, 3},
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	collect := func(w Workload) []Instr {
+		var out []Instr
+		w.Emit(func(in Instr) bool { out = append(out, in); return true })
+		return out
+	}
+	a, b := collect(build()), collect(build())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+}
+
+func TestBuilderWeights(t *testing.T) {
+	b := NewBuilder("w")
+	heavy := b.Hot(4)
+	light := b.Sequential(1<<16, 64)
+	w, err := b.Phase(PhaseSpec{
+		BodyInstrs: 300, Iterations: 100,
+		Loads:   []Pattern{heavy, light},
+		Weights: []int{9, 1},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~90% of refs must land in the hot region, ~10% in the stream.
+	var hotN, streamN int
+	w.Emit(func(in Instr) bool {
+		if in.Kind == Load {
+			if in.Addr >= dataRegion(17) && in.Addr < dataRegion(18) {
+				streamN++
+			} else {
+				hotN++
+			}
+		}
+		return true
+	})
+	ratio := float64(hotN) / float64(hotN+streamN)
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("hot ratio = %.3f, want ~0.9", ratio)
+	}
+}
+
+func TestBuilderMultiPhase(t *testing.T) {
+	b := NewBuilder("phased")
+	s1 := b.Strided(256<<10, 32<<10, 128, 2)
+	s2 := b.Sequential(64<<10, 64)
+	w, err := b.
+		Phase(PhaseSpec{BodyInstrs: 100, Iterations: 20, Loads: []Pattern{s1}}).
+		Phase(PhaseSpec{BodyInstrs: 200, Iterations: 10, Stores: []Pattern{s2}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := Count(w)
+	if total != 100*20+200*10 {
+		t.Errorf("total = %d", total)
+	}
+	// The phases use distinct code regions.
+	codeLines := map[uint64]bool{}
+	w.Emit(func(in Instr) bool { codeLines[in.PC>>6] = true; return true })
+	if len(codeLines) < (100+200)/16-2 {
+		t.Errorf("code footprint %d lines, want ~%d", len(codeLines), (100+200)/16)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("e").Build(); err == nil {
+		t.Error("no phases accepted")
+	}
+	b := NewBuilder("e2")
+	if _, err := b.Phase(PhaseSpec{BodyInstrs: 0, Iterations: 1, Loads: []Pattern{b.Hot(1)}}).Build(); err == nil {
+		t.Error("zero body accepted")
+	}
+	b = NewBuilder("e3")
+	if _, err := b.Phase(PhaseSpec{BodyInstrs: 10, Iterations: 1}).Build(); err == nil {
+		t.Error("no patterns accepted")
+	}
+	b = NewBuilder("e4")
+	p := b.Hot(1)
+	if _, err := b.Phase(PhaseSpec{
+		BodyInstrs: 10, Iterations: 1, Loads: []Pattern{p}, Weights: []int{1, 2},
+	}).Build(); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	b = NewBuilder("e5")
+	p = b.Hot(1)
+	if _, err := b.Phase(PhaseSpec{
+		BodyInstrs: 10, Iterations: 1, Loads: []Pattern{p}, Weights: []int{0},
+	}).Build(); err == nil {
+		t.Error("zero weight accepted")
+	}
+	// Pattern constructor errors propagate to Build.
+	b = NewBuilder("e6")
+	bad := b.Sequential(0, 0)
+	if _, err := b.Phase(PhaseSpec{BodyInstrs: 10, Iterations: 1, Loads: []Pattern{bad}}).Build(); err == nil {
+		t.Error("bad sequential pattern accepted")
+	}
+	b = NewBuilder("e7")
+	_ = b.Chase(0, 0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("bad chase pattern accepted")
+	}
+	b = NewBuilder("e8")
+	_ = b.Strided(10, 100, 64, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("bad strided pattern accepted")
+	}
+	b = NewBuilder("e9")
+	_ = b.Hot(0)
+	if _, err := b.Build(); err == nil {
+		t.Error("bad hot pattern accepted")
+	}
+	if NewBuilder("").name == "" {
+		t.Error("empty name not defaulted")
+	}
+}
+
+func TestBuilderDefaultMemEvery(t *testing.T) {
+	b := NewBuilder("d")
+	w, err := b.Phase(PhaseSpec{
+		BodyInstrs: 90, Iterations: 10, Loads: []Pattern{b.Hot(2)},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, frac := Count(w)
+	if frac < 0.3 || frac > 0.37 {
+		t.Errorf("default density %g, want ~1/3", frac)
+	}
+}

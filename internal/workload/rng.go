@@ -1,0 +1,51 @@
+package workload
+
+import "math"
+
+// rng is a SplitMix64 pseudo-random generator. We use our own tiny generator
+// instead of math/rand so traces are bit-identical across Go releases — the
+// calibration numbers in EXPERIMENTS.md depend on exact streams.
+type rng struct{ state uint64 }
+
+// newRNG seeds the generator; distinct seeds give independent streams.
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: rng.intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// geometric returns a sample from a discretized exponential distribution
+// with the given mean (>= 1), clamped to [1, 64*mean]; used for burst and
+// phase lengths.
+func (r *rng) geometric(mean float64) int {
+	if mean < 1 {
+		mean = 1
+	}
+	u := r.float()
+	if u >= 1 {
+		u = 0.999999999
+	}
+	x := 1 + int(-mean*math.Log(1-u))
+	if hi := int(64 * mean); x > hi {
+		x = hi
+	}
+	return x
+}

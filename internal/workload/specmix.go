@@ -1,0 +1,601 @@
+package workload
+
+// The six SPEC2000 stand-ins. Each generator documents the program behaviour
+// it models and the locality character it reproduces; parameters were tuned
+// against the paper's aggregate results (see EXPERIMENTS.md).
+//
+// Every benchmark is built from up to four locality tiers, which is what
+// shapes the per-frame interval distribution the limit study consumes:
+//
+//   - hot: the innermost loop; its cache lines see sub-1057-cycle reuse
+//     (the drowsy regime), and its stack/accumulator lines see back-to-back
+//     reuse (the active regime and the bulk of Figure 9's short-interval
+//     counts);
+//   - warm: the main working loop (~2.5K instructions / ~8KB of data)
+//     re-visited every few thousand cycles — the (b, 10K] regime that
+//     separates OPT-Sleep(b) from OPT-Sleep(10K);
+//   - tepid: per-phase code and data re-visited every few tens of
+//     thousands of cycles — the regime where decay's fixed 10K wait hurts;
+//   - cold: large structures touched rarely or never (the deep-sleep
+//     regime that dominates total savings).
+//
+// Code lives at Alpha-style text addresses (0x40_0000+); data regions are
+// spread far apart so distinct structures never alias in the caches.
+
+const (
+	textBase = 0x0040_0000
+	dataBase = 0x1000_0000
+	// Regions are spaced ~16MB apart; no synthetic structure is larger.
+	// The stride is deliberately NOT a multiple of the 2MB L2 size — the
+	// extra 192KB+some lines stagger successive regions across L2 sets,
+	// like a real allocator would, instead of piling every structure onto
+	// the same direct-mapped sets.
+	regionStride = (16 << 20) + (192 << 10) + 13*64
+)
+
+func dataRegion(i int) uint64 { return dataBase + uint64(i)*regionStride }
+
+// line64 returns the address of the i-th 64-byte line in a region.
+func line64(region uint64, i int) uint64 { return region + uint64(i)*64 }
+
+// gzip
+
+// gzipWL models 164.gzip: a compact compression kernel over streaming
+// input/output, an 8KB hot hash region, a 32KB sliding window probed at
+// random lags, and a per-block Huffman builder. Most of the I-cache is
+// never touched; D-cache traffic is a mix of streams (next-line
+// prefetchable) and hash probes (not).
+type gzipWL struct{ scale float64 }
+
+func newGzip(scale float64) *gzipWL { return &gzipWL{scale: scale} }
+
+func (g *gzipWL) Name() string { return "gzip" }
+
+func (g *gzipWL) Description() string {
+	return "LZ77 compressor: tiny hot loops, streaming buffers, 32KB window, hash tables"
+}
+
+func (g *gzipWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0xA11CE)
+	code := newCodeLayout(textBase)
+	inner := code.routine(280)    // hot: literal/match decision
+	deflate := code.routine(2500) // warm: main compression body
+	huffman := code.routine(3400) // tepid: per-block tree build
+	startup := make([]routine, 8) // once-only code: option parsing, table init
+	for i := range startup {
+		startup[i] = code.routine(320)
+	}
+	code.skip(170 << 10) // cold code: inflate, error paths (never executed)
+
+	hot := newHotCursor(dataRegion(0), 12) // hot spill area
+	hash := dataRegion(1)                  // 8KB warm hash region
+	window := dataRegion(2)                // 32KB window, random-lag probes (tepid)
+	freq := dataRegion(3)                  // 4KB frequency tables
+	input := newSeqCursor(dataRegion(4), 2<<20, 64)
+	outBuf := newSeqCursor(dataRegion(5), 2<<20, 64)
+
+	blocks := int(270 * g.scale)
+	if blocks < 1 {
+		blocks = 1
+	}
+	n := 0
+	mix := func(k int) access {
+		n++
+		switch {
+		case n%64 == 0:
+			return ld(input.next()) // streaming input (next-line friendly)
+		case n%64 == 32:
+			return st(outBuf.next()) // streaming output
+		case n%16 == 1:
+			return ld(line64(hash, r.intn(128))) // warm hash region
+		case n%32 == 3:
+			return st(line64(hash, r.intn(128)))
+		case n%128 == 5:
+			return ld(line64(window, r.intn(512))) // tepid window probes
+		case n%64 == 7:
+			return ld(line64(freq, r.intn(64)))
+		default:
+			return hot.next()
+		}
+	}
+	// Startup: one pass through initialization code, touching the CRC and
+	// tree tables once.
+	si := 0
+	for _, rt := range startup {
+		rt.execRefs(e, 3, func(k int) access {
+			si++
+			if k%3 == 0 {
+				return st(line64(window, si%512))
+			}
+			return hot.next()
+		})
+	}
+	for b := 0; b < blocks && !e.stopped; b++ {
+		for i := 0; i < 7 && !e.stopped; i++ {
+			deflate.execRefs(e, 3, mix)
+			for j := 0; j < 3 && !e.stopped; j++ {
+				inner.execRefs(e, 3, mix)
+			}
+		}
+		// Per-block Huffman build: tepid code, frequency-table sweeps.
+		fi := 0
+		huffman.execRefs(e, 3, func(k int) access {
+			fi++
+			if k%4 == 0 {
+				return ld(line64(freq, fi%64))
+			}
+			return hot.next()
+		})
+	}
+}
+
+// gcc
+
+// gccWL models 176.gcc: a very large, irregularly traversed code footprint
+// (hundreds of KB of compiler passes) around a warm driver core. Each
+// compiled function exercises a random, non-contiguous cluster of pass
+// routines for several passes — so cluster code is re-entered every few
+// thousand cycles, the full footprint cycles at much longer range, and a
+// routine's address-space neighbour is usually NOT in the cluster (which is
+// what keeps most long I-cache intervals un-prefetchable, as in real,
+// branchy compiler code). Data is AST pointer chasing within a per-function
+// arena plus hot symbol/stack traffic.
+type gccWL struct{ scale float64 }
+
+func newGcc(scale float64) *gccWL { return &gccWL{scale: scale} }
+
+func (g *gccWL) Name() string { return "gcc" }
+
+func (g *gccWL) Description() string {
+	return "compiler: ~300KB irregular code, per-function pass loops, AST pointer chasing"
+}
+
+func (g *gccWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0x6CC)
+	code := newCodeLayout(textBase)
+	driver := code.routine(1900) // warm: scheduling, bookkeeping
+	const numRoutines = 1400
+	routines := make([]routine, numRoutines)
+	for i := range routines {
+		routines[i] = code.routine(52)
+	}
+	const arenaLines = 4096 // 256KB of AST nodes, sliced into per-phase arenas
+	astArena := dataRegion(0)
+	symtab := dataRegion(1)                // 8KB warm symbol region
+	hot := newHotCursor(dataRegion(2), 12) // hot spill area
+
+	phases := int(160 * g.scale)
+	if phases < 1 {
+		phases = 1
+	}
+	cluster := make([]routine, 0, 64)
+	n := 0
+	for ph := 0; ph < phases && !e.stopped; ph++ {
+		// Random, non-contiguous cluster of pass routines for this function.
+		cluster = cluster[:0]
+		size := 36 + r.intn(20)
+		for i := 0; i < size; i++ {
+			cluster = append(cluster, routines[r.intn(numRoutines)])
+		}
+		arena := (ph / 2) % 8 // per-function arena slice, reused across 2 phases
+		arenaBase := astArena + uint64(arena)*(arenaLines/8)*64
+		arenaSeq := newSeqCursor(arenaBase, (arenaLines/8)*64, 64)
+		mix := func(k int) access {
+			n++
+			switch {
+			case n%128 == 0:
+				return ld(arenaSeq.next()) // allocation-order AST walk
+			case n%128 == 61:
+				return ld(line64(arenaBase, r.intn(arenaLines/8))) // random AST chase
+			case n%16 == 1:
+				return ld(line64(symtab, r.intn(128))) // warm
+			case n%32 == 3:
+				return st(line64(symtab, r.intn(128)))
+			default:
+				return hot.next()
+			}
+		}
+		passes := 6 + r.intn(4)
+		for p := 0; p < passes && !e.stopped; p++ {
+			driver.execRefs(e, 3, mix)
+			for _, rt := range cluster {
+				rt.execRefs(e, 3, mix)
+			}
+		}
+	}
+}
+
+// mesa
+
+// mesaWL models 177.mesa: software 3D rendering. The transform/raster/
+// texture kernels form a warm loop re-entered per batch of primitives;
+// per-frame setup code is tepid and visited in varying order; the
+// framebuffer and depth buffer are swept sequentially once per frame (long
+// unit-stride store streams, next-line prefetchable); the active texture
+// tile is a warm 8KB region.
+type mesaWL struct{ scale float64 }
+
+func newMesa(scale float64) *mesaWL { return &mesaWL{scale: scale} }
+
+func (m *mesaWL) Name() string { return "mesa" }
+
+func (m *mesaWL) Description() string {
+	return "software renderer: per-batch kernel reuse, framebuffer/vertex sweeps, texture tiles"
+}
+
+func (m *mesaWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0x3E5A)
+	code := newCodeLayout(textBase)
+	transform := code.routine(820)
+	raster := code.routine(980)
+	texture := code.routine(620)
+	setup := make([]routine, 14)
+	for i := range setup {
+		setup[i] = code.routine(380)
+	}
+	startup := make([]routine, 10) // once-only: context creation, mipmap build
+	for i := range startup {
+		startup[i] = code.routine(300)
+	}
+	code.skip(110 << 10)
+
+	hot := newHotCursor(dataRegion(0), 12)              // hot locals
+	texRegion := dataRegion(1)                          // texture atlas; 8KB active tile
+	vertices := newSeqCursor(dataRegion(2), 96<<10, 64) // vertex array
+	fb := newSeqCursor(dataRegion(3), 512<<10, 64)      // framebuffer
+	zbuf := newSeqCursor(dataRegion(4), 256<<10, 128)   // depth buffer, 2-line stride
+	matrices := dataRegion(5)                           // transform state
+
+	frames := int(135 * m.scale)
+	if frames < 1 {
+		frames = 1
+	}
+	n := 0
+	// Startup: build display lists and mipmaps once.
+	si := 0
+	for _, rt := range startup {
+		rt.execRefs(e, 3, func(k int) access {
+			si++
+			if k%3 == 0 {
+				return st(line64(texRegion, si%2048))
+			}
+			return hot.next()
+		})
+	}
+	for f := 0; f < frames && !e.stopped; f++ {
+		tile := texRegion + uint64(f%16)*8192
+		mix := func(k int) access {
+			n++
+			switch {
+			case n%48 == 0:
+				return st(fb.next()) // streaming framebuffer (next-line friendly)
+			case n%96 == 13:
+				return ld(zbuf.next())
+			case n%96 == 61:
+				return st(zbuf.next())
+			case n%144 == 7:
+				return ld(vertices.next())
+			case n%16 == 1:
+				return ld(line64(tile, r.intn(128))) // warm texture tile
+			case n%64 == 3:
+				return ld(line64(matrices, r.intn(32)))
+			default:
+				return hot.next()
+			}
+		}
+		// Per-frame setup, visited in a frame-dependent order (branchy).
+		for i := range setup {
+			setup[(i*5+f)%len(setup)].execRefs(e, 3, mix)
+		}
+		for batch := 0; batch < 8 && !e.stopped; batch++ {
+			transform.execRefs(e, 3, mix)
+			raster.execRefs(e, 3, mix)
+			texture.execRefs(e, 3, mix)
+		}
+	}
+}
+
+// vortex
+
+// vortexWL models 255.vortex: an object-oriented database. A warm memory-
+// management/dispatch core runs on every transaction; a large cold routine
+// population is visited through a drifting working window (call-graph
+// locality, mostly un-prefetchable); the heap is traversed by pointer with
+// hot freelist and index-root traffic.
+type vortexWL struct{ scale float64 }
+
+func newVortex(scale float64) *vortexWL { return &vortexWL{scale: scale} }
+
+func (v *vortexWL) Name() string { return "vortex" }
+
+func (v *vortexWL) Description() string {
+	return "OO database: call-heavy ~220KB code, heap pointer chasing, index probes"
+}
+
+func (v *vortexWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0x50F7)
+	code := newCodeLayout(textBase)
+	core := code.routine(2300) // warm: allocator, locking, dispatch
+	const numCold = 820
+	cold := make([]routine, numCold)
+	for i := range cold {
+		cold[i] = code.routine(64)
+	}
+	startup := make([]routine, 12) // once-only: schema load, recovery
+	for i := range startup {
+		startup[i] = code.routine(280)
+	}
+	heap := newChaseTable(dataRegion(0), 8192, 64, 0x50F71) // 512KB object heap, pointer-walked
+	heapSeq := newSeqCursor(dataRegion(0), 8192*64, 64)     // sequential buffer/scan ops
+	index := dataRegion(1)                                  // hot roots (8KB) + cold leaves
+	freelist := dataRegion(2)                               // hot allocator state
+	hot := newHotCursor(dataRegion(3), 12)
+
+	txns := int(2600 * v.scale)
+	if txns < 1 {
+		txns = 1
+	}
+	window := 0
+	n := 0
+	mix := func(k int) access {
+		n++
+		switch {
+		case n%112 == 0:
+			return ld(heap.next()) // heap chase: un-prefetchable
+		case n%112 == 57:
+			return ld(heapSeq.next()) // sequential scans: next-line friendly
+		case n%224 == 85:
+			return st(heap.next())
+		case n%16 == 1:
+			return ld(line64(index, r.intn(128))) // warm index roots
+		case n%192 == 3:
+			return ld(line64(index, 2048+r.intn(2048))) // cold leaves
+		case n%32 == 5:
+			return ld(line64(freelist, r.intn(16)))
+		case n%64 == 21:
+			return st(line64(freelist, r.intn(16)))
+		default:
+			return hot.next()
+		}
+	}
+	// Startup: load the schema and warm the buffer pool once.
+	si := 0
+	for _, rt := range startup {
+		rt.execRefs(e, 3, func(k int) access {
+			si++
+			if k%3 == 0 {
+				return ld(line64(index, si%4096))
+			}
+			return hot.next()
+		})
+	}
+	for t := 0; t < txns && !e.stopped; t++ {
+		if t%90 == 89 {
+			window = (window + 40) % numCold // workload drift
+		}
+		core.execRefs(e, 3, mix)
+		calls := 5 + r.intn(6)
+		for c := 0; c < calls && !e.stopped; c++ {
+			var rt routine
+			if r.intn(10) < 8 {
+				rt = cold[(window+r.intn(110))%numCold]
+			} else {
+				rt = cold[r.intn(numCold)]
+			}
+			rt.execRefs(e, 3, mix)
+		}
+	}
+}
+
+// ammp
+
+// ammpWL models 188.ammp: molecular dynamics. A small force-evaluation
+// kernel (warm) runs over a large atom set: sequential sweeps over the atom
+// records interleaved with neighbor-list pointer chasing, plus a hot
+// force-field parameter table. Very long D-cache reuse distances dominate;
+// the paper singles ammp out as a leakage-study favourite precisely for
+// this behaviour.
+type ammpWL struct{ scale float64 }
+
+func newAmmp(scale float64) *ammpWL { return &ammpWL{scale: scale} }
+
+func (a *ammpWL) Name() string { return "ammp" }
+
+func (a *ammpWL) Description() string {
+	return "molecular dynamics: small kernels, neighbor-list chasing over a large atom set"
+}
+
+func (a *ammpWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0xA332)
+	code := newCodeLayout(textBase)
+	force := code.routine(2800)       // warm: non-bonded force kernel
+	inner := code.routine(260)        // hot: pair interaction
+	neighborUpd := code.routine(2600) // tepid: list rebuild
+	startup := make([]routine, 8)     // once-only: topology parse, setup
+	for i := range startup {
+		startup[i] = code.routine(300)
+	}
+	code.skip(56 << 10)
+
+	const nAtoms = 9000
+	atoms := newChaseTable(dataRegion(0), nAtoms, 96, 0xA3321) // ~845KB atom records
+	atomSeq := newSeqCursor(dataRegion(0), nAtoms*96, 96)
+	velocities := newSeqCursor(dataRegion(1), nAtoms*24, 24)
+	params := dataRegion(2) // 8KB warm parameter table
+	hot := newHotCursor(dataRegion(3), 12)
+
+	steps := int(64 * a.scale)
+	if steps < 1 {
+		steps = 1
+	}
+	n := 0
+	mix := func(k int) access {
+		n++
+		switch {
+		case n%112 == 0 || n%224 == 57:
+			return ld(atomSeq.next()) // sequential atom sweep (next-line friendly)
+		case n%192 == 5:
+			return ld(atoms.next()) // neighbor chase: un-prefetchable
+		case n%384 == 101:
+			return ld(atoms.next())
+		case n%384 == 293:
+			return st(velocities.next())
+		case n%16 == 1:
+			return ld(line64(params, r.intn(128))) // warm parameters
+		default:
+			return hot.next()
+		}
+	}
+	// Startup: parse the molecular topology once.
+	si := 0
+	for _, rt := range startup {
+		rt.execRefs(e, 3, func(k int) access {
+			si++
+			if k%3 == 0 {
+				return st(atomSeq.next())
+			}
+			return hot.next()
+		})
+	}
+	for s := 0; s < steps && !e.stopped; s++ {
+		for g := 0; g < 30 && !e.stopped; g++ {
+			force.execRefs(e, 3, mix)
+			for j := 0; j < 3 && !e.stopped; j++ {
+				inner.execRefs(e, 3, mix)
+			}
+		}
+		// Periodic neighbor-list rebuild (tepid code, streaming data).
+		{
+			for g := 0; g < 6 && !e.stopped; g++ {
+				neighborUpd.execRefs(e, 3, func(k int) access {
+					switch {
+					case k%24 == 0:
+						return st(atomSeq.next())
+					case k%48 == 13:
+						return ld(atoms.next())
+					default:
+						return hot.next()
+					}
+				})
+			}
+		}
+	}
+}
+
+// applu
+
+// appluWL models 173.applu: an SSOR CFD solver over a 3D grid. A handful of
+// kernel loops (genuinely small code) sweep five large arrays along
+// different dimensions with constant strides (unit, row, and plane) —
+// exactly the access shape the stride prefetcher exists for — plus a warm
+// coefficient block. applu's I-cache is mostly idle, its D-cache dominated
+// by long, regular intervals.
+type appluWL struct{ scale float64 }
+
+func newApplu(scale float64) *appluWL { return &appluWL{scale: scale} }
+
+func (a *appluWL) Name() string { return "applu" }
+
+func (a *appluWL) Description() string {
+	return "SSOR CFD solver: strided sweeps (unit/row/plane) over five large 3D arrays"
+}
+
+func (a *appluWL) Emit(yield func(Instr) bool) {
+	e := &emitter{yield: yield}
+	r := newRNG(0xAB1)
+	code := newCodeLayout(textBase)
+	rhs := code.routine(900)
+	jacld := code.routine(760)
+	blts := code.routine(560)
+	buts := code.routine(560)
+	l2norm := code.routine(300)
+	startup := make([]routine, 6) // once-only: grid setup, coefficient init
+	for i := range startup {
+		startup[i] = code.routine(280)
+	}
+	code.skip(28 << 10)
+
+	// 32^3 grid, 8-byte elements: each array is 256KB; the five arrays
+	// together fit the 2MB L2, as the real applu working set does once
+	// blocked.
+	const (
+		cells     = 32 * 32 * 32
+		elem      = 8
+		arraySize = cells * elem
+	)
+	arr := func(i int) uint64 { return dataRegion(i) }
+	coeff := dataRegion(8) // 8KB warm coefficient block
+	hot := newHotCursor(dataRegion(9), 12)
+
+	// Blocked, strided sweeps: each solver kernel re-sweeps blocks of its
+	// arrays with multi-line strides (128B-256B) before moving on — the
+	// skipped lines are never touched, so next-line prefetch cannot
+	// predict these accesses and only the per-PC stride predictor can.
+	// (The rapid block rotation means the two-confirmation predictor locks
+	// on only part of the closings; EXPERIMENTS.md quantifies the
+	// resulting under-representation of P-stride against the paper.)
+	w0 := newStrideWalker(arr(0), arraySize, 32<<10, 128, 4)
+	w1 := newStrideWalker(arr(1), arraySize, 32<<10, 128, 4)
+	w2 := newStrideWalker(arr(2), arraySize, 32<<10, 192, 3)
+	w3 := newStrideWalker(arr(3), arraySize, 32<<10, 128, 6)
+	w4 := newStrideWalker(arr(4), arraySize, 32<<10, 256, 5)
+
+	hotMix := func(k int) access {
+		if k%16 == 5 {
+			return ld(line64(coeff, r.intn(128)))
+		}
+		return hot.next()
+	}
+	mixFor := func(a, b *strideWalker) func(int) access {
+		return func(k int) access {
+			switch k % 8 {
+			case 0, 2:
+				return ld(a.next())
+			case 4:
+				return ld(b.next())
+			case 6:
+				return st(a.next())
+			default:
+				return hotMix(k)
+			}
+		}
+	}
+
+	iters := int(9 * a.scale)
+	if iters < 1 {
+		iters = 1
+	}
+	// Startup: initialize the grid once.
+	si := 0
+	for _, rt := range startup {
+		rt.execRefs(e, 3, func(k int) access {
+			si++
+			if k%3 == 0 {
+				return st(arr(3) + uint64(si%4096)*64)
+			}
+			return hot.next()
+		})
+	}
+	for it := 0; it < iters && !e.stopped; it++ {
+		for i := 0; i < 160 && !e.stopped; i++ {
+			rhs.execRefs(e, 3, mixFor(w0, w1))
+		}
+		for i := 0; i < 140 && !e.stopped; i++ {
+			jacld.execRefs(e, 3, mixFor(w2, w3))
+		}
+		for i := 0; i < 150 && !e.stopped; i++ {
+			blts.execRefs(e, 3, mixFor(w4, w0))
+		}
+		for i := 0; i < 150 && !e.stopped; i++ {
+			buts.execRefs(e, 3, mixFor(w4, w2))
+		}
+		for i := 0; i < 120 && !e.stopped; i++ {
+			l2norm.execRefs(e, 3, mixFor(w2, w1))
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package workload
+
+import (
+	"testing"
+)
+
+const testScale = 0.02
+
+func TestNames(t *testing.T) {
+	n := Names()
+	want := []string{"ammp", "applu", "gcc", "gzip", "mesa", "vortex"}
+	if len(n) != len(want) {
+		t.Fatalf("Names() = %v", n)
+	}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, n[i], want[i])
+		}
+	}
+	// Returned slice must be a copy.
+	n[0] = "hacked"
+	if Names()[0] != "ammp" {
+		t.Error("Names() exposes internal slice")
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("specfake", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := New("gzip", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := New("gzip", -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew("nope", 1)
+}
+
+func TestValidate(t *testing.T) {
+	for _, n := range Names() {
+		if err := Validate(n); err != nil {
+			t.Errorf("Validate(%q) = %v", n, err)
+		}
+	}
+	if err := Validate("zzz"); err == nil {
+		t.Error("Validate accepted unknown name")
+	}
+}
+
+func TestAll(t *testing.T) {
+	ws, err := All(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 6 {
+		t.Fatalf("All returned %d workloads", len(ws))
+	}
+	for i, w := range ws {
+		if w.Name() != Names()[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, w.Name(), Names()[i])
+		}
+		if w.Description() == "" {
+			t.Errorf("%s: empty description", w.Name())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			collect := func() []Instr {
+				w := MustNew(name, testScale)
+				var out []Instr
+				w.Emit(func(in Instr) bool {
+					out = append(out, in)
+					return len(out) < 50000
+				})
+				return out
+			}
+			a, b := collect(), collect()
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("instr %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEmitRestartable(t *testing.T) {
+	w := MustNew("gzip", testScale)
+	first := func() Instr {
+		var got Instr
+		w.Emit(func(in Instr) bool { got = in; return false })
+		return got
+	}
+	a, b := first(), first()
+	if a != b {
+		t.Errorf("restart differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	w := MustNew("gcc", 1)
+	n := 0
+	w.Emit(func(in Instr) bool {
+		n++
+		return n < 100
+	})
+	if n != 100 {
+		t.Errorf("emitted %d after stop at 100", n)
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	// Each benchmark must have a plausible memory-op fraction and non-empty
+	// stream; PC values must be in the text segment, data addresses in the
+	// data segment.
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := MustNew(name, testScale)
+			var total, mem uint64
+			bad := false
+			w.Emit(func(in Instr) bool {
+				total++
+				if in.PC < textBase || in.PC >= dataBase {
+					bad = true
+					return false
+				}
+				if in.Kind != Op {
+					mem++
+					if in.Addr < dataBase {
+						bad = true
+						return false
+					}
+				}
+				return total < 300000
+			})
+			if bad {
+				t.Fatal("address outside its segment")
+			}
+			if total < 1000 {
+				t.Fatalf("stream too short: %d", total)
+			}
+			frac := float64(mem) / float64(total)
+			if frac < 0.03 || frac > 0.5 {
+				t.Errorf("memory fraction %0.3f out of plausible [0.03, 0.5]", frac)
+			}
+		})
+	}
+}
+
+func TestScaleStretchesLength(t *testing.T) {
+	count := func(scale float64) uint64 {
+		w := MustNew("ammp", scale)
+		n, _ := Count(w)
+		return n
+	}
+	small, large := count(0.15), count(0.6)
+	if large <= small {
+		t.Errorf("scale did not stretch: %d -> %d", small, large)
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	// Code footprints must follow the modelled programs' relative sizes:
+	// gcc and vortex large, ammp/applu/gzip small.
+	fp := map[string]int{}
+	for _, name := range Names() {
+		// A larger scale lets gcc/vortex visit a representative share of
+		// their code populations.
+		w := MustNew(name, 0.2)
+		c, d := Footprint(w)
+		if c == 0 || d == 0 {
+			t.Fatalf("%s: empty footprint (%d code, %d data)", name, c, d)
+		}
+		fp[name] = c
+	}
+	if fp["gcc"] <= fp["gzip"]*2 {
+		t.Errorf("gcc code footprint (%d lines) not much larger than gzip (%d)", fp["gcc"], fp["gzip"])
+	}
+	if fp["vortex"] <= fp["ammp"]*2 {
+		t.Errorf("vortex code footprint (%d) not much larger than ammp (%d)", fp["vortex"], fp["ammp"])
+	}
+}
+
+func TestDataWorkingSets(t *testing.T) {
+	// Data working sets must exceed the 64KB L1D (1024 lines) for the
+	// benchmarks the paper characterizes as cache-straining.
+	for _, name := range []string{"ammp", "applu", "vortex", "mesa"} {
+		w := MustNew(name, 0.05)
+		_, d := Footprint(w)
+		if d < 2048 {
+			t.Errorf("%s: data footprint %d lines, want > 2048 (128KB)", name, d)
+		}
+	}
+}
+
+func TestInstrKindString(t *testing.T) {
+	if Op.String() != "op" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("kind strings wrong")
+	}
+	if InstrKind(9).String() != "InstrKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRoutineExec(t *testing.T) {
+	r := newRoutine(0x1000, 10)
+	if r.end() != 0x1000+40 {
+		t.Errorf("end = %#x", r.end())
+	}
+	e := &emitter{yield: func(in Instr) bool { return true }}
+	var got []Instr
+	e.yield = func(in Instr) bool { got = append(got, in); return true }
+	r.exec(e, ld(0xAA00), st(0xBB00))
+	if len(got) != 10 {
+		t.Fatalf("emitted %d, want 10", len(got))
+	}
+	var loads, stores int
+	for i, in := range got {
+		if in.PC != 0x1000+uint64(i)*4 {
+			t.Errorf("instr %d PC = %#x", i, in.PC)
+		}
+		switch in.Kind {
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+	}
+	if loads != 1 || stores != 1 {
+		t.Errorf("loads=%d stores=%d, want 1/1", loads, stores)
+	}
+}
+
+func TestRoutineExecOverflowRefs(t *testing.T) {
+	r := newRoutine(0x1000, 2)
+	var got []Instr
+	e := &emitter{yield: func(in Instr) bool { got = append(got, in); return true }}
+	r.exec(e, ld(1<<28), ld(2<<28), ld(3<<28), ld(4<<28))
+	if len(got) != 4 {
+		t.Fatalf("emitted %d, want 4 (2 body + 2 overflow)", len(got))
+	}
+	for _, in := range got {
+		if in.Kind != Load {
+			t.Errorf("non-load in all-refs exec: %+v", in)
+		}
+	}
+}
+
+func TestChaseTableIsFullCycle(t *testing.T) {
+	const n = 257
+	ct := newChaseTable(0x1000, n, 64, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		a := ct.next()
+		if seen[a] {
+			t.Fatalf("revisited %#x before full cycle at step %d", a, i)
+		}
+		seen[a] = true
+	}
+	if len(seen) != n {
+		t.Errorf("cycle covered %d of %d elements", len(seen), n)
+	}
+}
+
+func TestSeqCursorWraps(t *testing.T) {
+	c := newSeqCursor(100, 64, 32)
+	addrs := []uint64{c.next(), c.next(), c.next()}
+	want := []uint64{100, 132, 100}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("addr[%d] = %d, want %d", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	c := newRNG(8)
+	same := true
+	a2 := newRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := newRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("intn(0) did not panic")
+		}
+	}()
+	r.intn(0)
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := newRNG(11)
+	for i := 0; i < 1000; i++ {
+		f := r.float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := newRNG(5)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.geometric(10)
+		if v < 1 {
+			t.Fatalf("geometric returned %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if mean < 7 || mean > 14 {
+		t.Errorf("geometric mean = %g, want near 10", mean)
+	}
+	if v := r.geometric(0.5); v < 1 {
+		t.Errorf("geometric(<1) = %d", v)
+	}
+}
+
+func BenchmarkEmitGzip(b *testing.B) {
+	w := MustNew("gzip", 1)
+	b.ResetTimer()
+	n := 0
+	w.Emit(func(in Instr) bool {
+		n++
+		return n < b.N
+	})
+}
+
+func TestHotCursorBursts(t *testing.T) {
+	h := newHotCursor(0x1000, 3)
+	// Four consecutive touches of one line (ld/st alternating), then the
+	// cursor advances to the next line.
+	var lines []uint64
+	var kinds []InstrKind
+	for i := 0; i < 12; i++ {
+		a := h.next()
+		lines = append(lines, a.addr>>6)
+		kinds = append(kinds, a.kind)
+	}
+	for i := 0; i < 4; i++ {
+		if lines[i] != lines[0] {
+			t.Fatalf("burst broke at %d: %v", i, lines[:4])
+		}
+	}
+	if lines[4] == lines[0] {
+		t.Error("cursor did not advance after a burst")
+	}
+	if lines[8] == lines[4] {
+		t.Error("cursor did not advance after second burst")
+	}
+	if kinds[0] != Load || kinds[1] != Store || kinds[2] != Load || kinds[3] != Store {
+		t.Errorf("burst kinds = %v, want ld/st/ld/st", kinds[:4])
+	}
+	// Wraps around the region.
+	h2 := newHotCursor(0x1000, 1)
+	for i := 0; i < 8; i++ {
+		if h2.next().addr>>6 != 0x1000>>6 {
+			t.Fatal("single-line cursor left its line")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-line cursor did not panic")
+		}
+	}()
+	newHotCursor(0x1000, 0)
+}
+
+func TestStrideWalkerGeometry(t *testing.T) {
+	// 1KB region, 256B blocks, 128B stride, 2 passes per block.
+	w := newStrideWalker(0x10000, 1024, 256, 128, 2)
+	var addrs []uint64
+	for i := 0; i < 10; i++ {
+		addrs = append(addrs, w.next())
+	}
+	// Block 0 pass 1: 0x10000, 0x10080; pass 2: same; then block 1.
+	want := []uint64{
+		0x10000, 0x10080, // pass 1
+		0x10000, 0x10080, // pass 2
+		0x10100, 0x10180, // block 1 pass 1
+		0x10100, 0x10180, // block 1 pass 2
+		0x10200, 0x10280, // block 2
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("addr[%d] = %#x, want %#x (full: %#x)", i, addrs[i], want[i], addrs)
+		}
+	}
+	// Skipped lines (odd 64B lines within the stride) are never emitted.
+	w2 := newStrideWalker(0x20000, 512, 512, 128, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[w2.next()] = true
+	}
+	for a := range seen {
+		if (a-0x20000)%128 != 0 {
+			t.Errorf("off-stride address %#x emitted", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad walker geometry did not panic")
+		}
+	}()
+	newStrideWalker(0, 0, 0, 0, 0)
+}
+
+func TestStrideWalkerWrapsRegion(t *testing.T) {
+	// Region of 2 blocks: after both blocks' passes the walker returns to
+	// block 0.
+	w := newStrideWalker(0x30000, 512, 256, 128, 1)
+	var first uint64 = w.next()
+	// Exhaust block 0 (2 steps) and block 1 (2 steps).
+	w.next()
+	w.next()
+	w.next()
+	if got := w.next(); got != first {
+		t.Errorf("walker did not wrap: got %#x, want %#x", got, first)
+	}
+}
