@@ -1,0 +1,32 @@
+# Single source of truth for the commands CI runs, so humans and the
+# workflows in .github/workflows/ can never drift apart.
+
+GO ?= go
+
+.PHONY: build test race lint bench cover
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt -l lists unformatted files; any output fails the target.
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# One iteration of every benchmark, no unit tests: a smoke test that keeps
+# bench_test.go compiling and running (the nightly CI job runs this).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

@@ -8,6 +8,12 @@
 // fig10, profile, extensions. With no -only, everything is produced in
 // paper order followed by the extension studies.
 // -scale stretches the benchmark lengths (1.0 = the full study length).
+//
+// Observability: -metrics prints a telemetry snapshot (per-benchmark
+// simulation time, event counts, disk-cache hits/misses, pool utilization)
+// to stderr after the run; -cpuprofile/-memprofile write pprof profiles;
+// -metrics-addr serves /metrics, expvar and pprof over HTTP for long
+// sweeps.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"leakbound/internal/experiments"
 	"leakbound/internal/report"
+	"leakbound/internal/telemetry"
 )
 
 func main() {
@@ -25,9 +32,19 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
 	format := flag.String("format", "text", "output format: text, markdown, or csv")
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*scale, *only, *cacheDir, *format); err != nil {
+	stop, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err = run(*scale, *only, *cacheDir, *format)
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

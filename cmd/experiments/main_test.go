@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"leakbound/internal/telemetry"
 )
 
 func TestRunSubsets(t *testing.T) {
@@ -35,5 +39,34 @@ func TestRunWithDiskCache(t *testing.T) {
 	dir := t.TempDir()
 	if err := run(0.02, "table1", dir, "csv"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithMetricsSnapshot exercises what `experiments -metrics` does in
+// main: run a full-suite item, then print the telemetry snapshot. The
+// snapshot must report per-benchmark simulation time, event counts, and
+// disk-cache hit/miss counters.
+func TestRunWithMetricsSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	stop, err := (telemetry.Observability{Metrics: true, MetricsOut: &buf}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0.02, "profile", t.TempDir(), "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"suite:", "sim_ms/gzip", "events/gzip",
+		"diskcache:", "hits", "misses",
+		"pool:", "tasks_completed",
+		"cpu:", "events_emitted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, out)
+		}
 	}
 }

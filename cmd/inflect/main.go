@@ -7,6 +7,9 @@
 //
 //	inflect                                    # built-in nodes (Table 1)
 //	inflect -pa 0.8 -pd 0.27 -ps 0.008 -cd 250 # custom parameters
+//
+// The standard observability flags (-metrics, -cpuprofile, -memprofile,
+// -metrics-addr) are also accepted.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"leakbound/internal/power"
 	"leakbound/internal/report"
+	"leakbound/internal/telemetry"
 )
 
 func main() {
@@ -29,9 +33,19 @@ func main() {
 	s4 := flag.Int("s4", 4, "cycles: extra wait for the L2 fetch")
 	d1 := flag.Int("d1", 3, "cycles: high -> low")
 	d3 := flag.Int("d3", 3, "cycles: low -> high")
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*pa, *pd, *ps, *cd, power.Durations{S1: *s1, S3: *s3, S4: *s4, D1: *d1, D3: *d3}); err != nil {
+	stop, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inflect:", err)
+		os.Exit(1)
+	}
+	err = run(*pa, *pd, *ps, *cd, power.Durations{S1: *s1, S3: *s3, S4: *s4, D1: *d1, D3: *d3})
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "inflect:", err)
 		os.Exit(1)
 	}

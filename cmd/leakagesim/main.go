@@ -5,6 +5,9 @@
 // Usage:
 //
 //	leakagesim -bench gzip [-scale 0.5] [-tech 70nm] [-cache I|D|both]
+//
+// The standard observability flags (-metrics, -cpuprofile, -memprofile,
+// -metrics-addr) are also accepted.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"leakbound/internal/leakage"
 	"leakbound/internal/power"
 	"leakbound/internal/report"
+	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
 )
 
@@ -27,9 +31,19 @@ func main() {
 	techName := flag.String("tech", "70nm", "technology node: 70nm, 100nm, 130nm, 180nm")
 	cacheSide := flag.String("cache", "both", "which cache to evaluate: I, D, or both")
 	showStats := flag.Bool("stats", false, "also print the interior interval length distribution")
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*bench, *scale, *techName, *cacheSide, *showStats); err != nil {
+	stop, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakagesim:", err)
+		os.Exit(1)
+	}
+	err = run(*bench, *scale, *techName, *cacheSide, *showStats)
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "leakagesim:", err)
 		os.Exit(1)
 	}

@@ -6,6 +6,9 @@
 // Usage:
 //
 //	phases -bench gcc [-scale 0.2] [-window 100000] [-k 6]
+//
+// The standard observability flags (-metrics, -cpuprofile, -memprofile,
+// -metrics-addr) are also accepted.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"leakbound/internal/report"
 	"leakbound/internal/simpoint"
+	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
 )
 
@@ -24,9 +28,19 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale")
 	window := flag.Int("window", 100000, "instructions per BBV window")
 	k := flag.Int("k", 6, "maximum number of phases")
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*bench, *scale, *window, *k); err != nil {
+	stop, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phases:", err)
+		os.Exit(1)
+	}
+	err = run(*bench, *scale, *window, *k)
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "phases:", err)
 		os.Exit(1)
 	}

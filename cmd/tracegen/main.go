@@ -6,6 +6,9 @@
 //
 //	tracegen -bench ammp -cache D -o ammp_d.trc [-scale 0.2]
 //	tracegen -summarize ammp_d.trc
+//
+// The standard observability flags (-metrics, -cpuprofile, -memprofile,
+// -metrics-addr) are also accepted.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/cpu"
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
 )
 
@@ -25,13 +29,21 @@ func main() {
 	out := flag.String("o", "", "output file (required unless -summarize)")
 	scale := flag.Float64("scale", 0.2, "workload scale")
 	summarize := flag.String("summarize", "", "summarize an existing trace file instead of generating")
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var err error
+	stop, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 	if *summarize != "" {
 		err = runSummarize(*summarize)
 	} else {
 		err = runGenerate(*bench, *side, *out, *scale)
+	}
+	if stopErr := stop(); err == nil {
+		err = stopErr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)

@@ -15,6 +15,7 @@ import (
 	"leakbound/internal/interval"
 	"leakbound/internal/prefetch"
 	"leakbound/internal/sim/cpu"
+	"leakbound/internal/telemetry"
 )
 
 // cacheVersion invalidates old cache entries whenever the simulator,
@@ -45,7 +46,20 @@ func (s *Suite) cacheKey(name string) string {
 }
 
 // loadCached returns the cached benchmark data, or nil if absent/invalid.
-func (s *Suite) loadCached(name string) *BenchmarkData {
+// Every lookup lands in the "diskcache" hit/miss counters — a miss means a
+// fresh simulation follows, whether the cache is disabled, cold, or stale.
+func (s *Suite) loadCached(name string) (d *BenchmarkData) {
+	// Touching both counters up front keeps them visible (at zero) in every
+	// snapshot, even before the first hit or miss of the other kind.
+	dc := telemetry.Default().Scope("diskcache")
+	hits, misses := dc.Counter("hits"), dc.Counter("misses")
+	defer func() {
+		if d != nil {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+	}()
 	if s.cacheDir == "" {
 		return nil
 	}
@@ -132,7 +146,9 @@ func (s *Suite) storeCached(d *BenchmarkData) {
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return
 	}
-	_ = os.Rename(tmp, base+".json")
+	if os.Rename(tmp, base+".json") == nil {
+		telemetry.Default().Scope("diskcache").Counter("stores").Add(1)
+	}
 }
 
 // osWriteFileHelper is a test seam for corrupting cache entries.

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"leakbound/internal/interval"
 	"leakbound/internal/prefetch"
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/cpu"
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
 )
 
@@ -95,11 +97,18 @@ func (s *Suite) Data(name string) (*BenchmarkData, error) {
 
 	d := s.loadCached(name)
 	if d == nil {
+		start := time.Now()
 		var err error
 		d, err = simulate(name, s.scale)
 		if err != nil {
 			return nil, err
 		}
+		elapsed := time.Since(start)
+		sc := telemetry.Default().Scope("suite")
+		sc.Counter("fresh_sims").Add(1)
+		sc.Gauge("sim_ms/" + name).Set(elapsed.Milliseconds())
+		sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
+		sc.Histogram("sim_ns").Record(uint64(elapsed.Nanoseconds()))
 		s.storeCached(d)
 	}
 	s.mu.Lock()
@@ -111,25 +120,26 @@ func (s *Suite) Data(name string) (*BenchmarkData, error) {
 	return d, nil
 }
 
-// All simulates (in parallel) and returns every benchmark in presentation
-// order.
+// All simulates every benchmark in parallel — through a bounded,
+// metric-instrumented worker pool (GOMAXPROCS workers), never an
+// unbounded goroutine fan-out — and returns them in presentation order.
 func (s *Suite) All() ([]*BenchmarkData, error) {
 	names := workload.Names()
 	out := make([]*BenchmarkData, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
+	pool := telemetry.NewPool(0)
 	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			out[i], errs[i] = s.Data(name)
-		}(i, name)
+		i, name := i, name
+		pool.Go(func() error {
+			d, err := s.Data(name)
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			out[i] = d
+			return nil
+		})
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
-		}
+	if err := pool.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -173,6 +183,10 @@ func simulate(name string, scale float64) (*BenchmarkData, error) {
 	if err != nil {
 		return nil, err
 	}
+	// sinkErr needs no synchronization: cpu.Run's documented contract is
+	// that the sink runs synchronously on this goroutine and never after
+	// Run returns (each Suite simulation owns its own collectors/engines;
+	// TestSuiteAllConcurrentRace exercises this under -race).
 	var sinkErr error
 	res, err := cpu.Run(w, hier, cpu.DefaultConfig(), func(e trace.Event) {
 		if sinkErr != nil {

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
 )
 
 // Flags annotate an interval with properties the policies care about.
@@ -256,6 +257,7 @@ type Collector struct {
 	dist       *Distribution
 	finished   bool
 	lastCycle  uint64
+	events     uint64 // accepted events, flushed to telemetry at Finish
 }
 
 // NewCollector creates a collector for the given cache with numFrames
@@ -294,6 +296,7 @@ func (c *Collector) Add(e trace.Event) error {
 		return fmt.Errorf("interval: event cycle %d before %d", e.Cycle, c.lastCycle)
 	}
 	c.lastCycle = e.Cycle
+	c.events++
 
 	prev := c.lastAccess[e.Frame]
 	switch {
@@ -367,5 +370,12 @@ func (c *Collector) Finish(totalCycles uint64) (*Distribution, error) {
 	if untouched > 0 && totalCycles > 0 {
 		c.dist.Add(totalCycles, Untouched, untouched)
 	}
+	// One flush per collector lifetime keeps telemetry off the per-event
+	// path (millions of Add calls per benchmark).
+	sc := telemetry.Default().Scope("interval")
+	sc.Counter("collectors_finished").Add(1)
+	sc.Counter("events").Add(c.events)
+	sc.Counter("intervals_closed").Add(c.dist.numIntervals)
+	sc.Counter("frames_untouched").Add(untouched)
 	return c.dist, nil
 }

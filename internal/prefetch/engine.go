@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
 )
 
 // EngineConfig controls the prefetch engine.
@@ -212,11 +213,21 @@ func (e *Engine) expire(now uint64) {
 }
 
 // Finish retires all remaining in-flight prefetches as useless and returns
-// the final statistics.
+// the final statistics. Totals are flushed to telemetry here — once per
+// engine lifetime — so Access stays free of shared-memory traffic.
 func (e *Engine) Finish() EngineStats {
 	for line := range e.inflight {
 		e.stats.Useless++
 		delete(e.inflight, line)
 	}
+	sc := telemetry.Default().Scope("prefetch")
+	sc.Counter("engines_finished").Add(1)
+	sc.Counter("demand_accesses").Add(e.stats.DemandAccesses)
+	sc.Counter("demand_misses").Add(e.stats.DemandMisses)
+	sc.Counter("issued").Add(e.stats.Issued)
+	sc.Counter("useful").Add(e.stats.Useful)
+	sc.Counter("late").Add(e.stats.Late)
+	sc.Counter("useless").Add(e.stats.Useless)
+	sc.Counter("covered_misses").Add(e.stats.CoveredMisses)
 	return e.stats
 }

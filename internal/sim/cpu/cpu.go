@@ -19,6 +19,7 @@ import (
 
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
 )
 
@@ -50,6 +51,12 @@ func (c Config) Validate() error {
 
 // Sink receives timed cache access events as the simulation runs. Events
 // arrive in non-decreasing cycle order.
+//
+// Contract: Run invokes sink synchronously, on the goroutine Run itself was
+// called from, and never after Run returns. A sink therefore needs no
+// internal synchronization for state owned by that one Run call (e.g. an
+// error variable the caller inspects afterwards) — but state shared between
+// concurrent Run calls must be synchronized by the caller.
 type Sink func(trace.Event)
 
 // Result summarizes one simulation run.
@@ -100,6 +107,14 @@ func Run(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Res
 	if m.predictor != nil {
 		res.Branch = m.predictor.stats
 	}
+	// Flush run totals to telemetry in one shot — the per-event path stays
+	// free of shared-memory traffic.
+	sc := telemetry.Default().Scope("cpu")
+	sc.Counter("runs").Add(1)
+	sc.Counter("instructions").Add(res.Instructions)
+	sc.Counter("cycles").Add(res.Cycles)
+	sc.Counter("events_emitted").Add(m.events)
+	sc.Histogram("run_cycles").Record(res.Cycles)
 	return res, nil
 }
 
@@ -112,6 +127,7 @@ type machine struct {
 	cycle  uint64
 	instrs uint64
 	groups uint64
+	events uint64
 
 	group     []workload.Instr
 	stopping  bool
@@ -230,6 +246,7 @@ func (m *machine) flushGroup() {
 }
 
 func (m *machine) emit(e trace.Event) {
+	m.events++
 	if m.sink != nil {
 		m.sink(e)
 	}

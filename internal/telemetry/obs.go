@@ -1,0 +1,111 @@
+package telemetry
+
+// Observability is the shared flag-level front end the cmd/ binaries use:
+// each main wires -metrics, -cpuprofile, -memprofile, and -metrics-addr
+// into one Observability value, calls Start before its work and the
+// returned stop function after, and gets CPU/heap profiles, a metrics
+// snapshot, and an optional expvar+pprof debug server without duplicating
+// the plumbing five times.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Observability bundles the observability options common to every binary.
+type Observability struct {
+	// Metrics prints a text snapshot of the default registry to MetricsOut
+	// (stderr when nil) when the returned stop function runs.
+	Metrics bool
+	// CPUProfile and MemProfile are output paths for runtime/pprof
+	// profiles; empty disables them.
+	CPUProfile string
+	MemProfile string
+	// MetricsAddr, when non-empty, serves /metrics, /debug/vars (expvar)
+	// and /debug/pprof on that address for the lifetime of the process —
+	// the long-sweep monitoring endpoint.
+	MetricsAddr string
+	// MetricsOut overrides where the -metrics snapshot is written.
+	MetricsOut io.Writer
+}
+
+// RegisterFlags installs the standard observability flags (-metrics,
+// -cpuprofile, -memprofile, -metrics-addr) on fs and returns the
+// Observability they populate; call its Start after fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Observability {
+	o := &Observability{}
+	fs.BoolVar(&o.Metrics, "metrics", false, "print a telemetry snapshot to stderr when done")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to `file`")
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "", "serve /metrics, expvar and pprof on `addr` (e.g. :6060)")
+	return o
+}
+
+// Start begins CPU profiling and the debug server as configured and
+// returns a stop function that finishes profiles and prints the metrics
+// snapshot. stop is safe to call exactly once; on error some outputs may
+// be incomplete but all started resources are released.
+func (o Observability) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.CPUProfile != "" {
+		cpuFile, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+		}
+	}
+	if o.MetricsAddr != "" {
+		if _, err := ServeDebug(o.MetricsAddr); err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if o.MemProfile != "" {
+			if err := writeHeapProfile(o.MemProfile); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if o.Metrics {
+			w := o.MetricsOut
+			if w == nil {
+				w = os.Stderr
+			}
+			if err := Default().Snapshot().WriteText(w); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeapProfile dumps an up-to-date heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObservabilityProfilesAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := Observability{
+		Metrics:    true,
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		MetricsOut: &buf,
+	}
+	stop, err := o.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Default().Scope("obstest").Counter("touched").Add(1)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.CPUProfile, o.MemProfile} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if !strings.Contains(buf.String(), "obstest:") {
+		t.Errorf("metrics snapshot missing scope:\n%s", buf.String())
+	}
+}
+
+func TestObservabilityDisabledIsNoop(t *testing.T) {
+	stop, err := (Observability{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservabilityBadProfilePath(t *testing.T) {
+	_, err := (Observability{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "p")}).Start()
+	if err == nil {
+		t.Error("unwritable cpu profile path accepted")
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Default().Scope("servetest").Counter("hits").Add(3)
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/vars"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "servetest") {
+			t.Errorf("GET %s: body missing servetest scope:\n%s", path, body)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", resp.StatusCode)
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	fs := newTestFlagSet()
+	o := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "-cpuprofile", "c.out", "-memprofile", "m.out", "-metrics-addr", ":0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Metrics || o.CPUProfile != "c.out" || o.MemProfile != "m.out" || o.MetricsAddr != ":0" {
+		t.Errorf("flags not bound: %+v", o)
+	}
+}
+
+func newTestFlagSet() *flag.FlagSet {
+	return flag.NewFlagSet("test", flag.ContinueOnError)
+}

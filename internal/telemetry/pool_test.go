@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	r := NewRegistry()
+	p := NewPoolIn(r, 4)
+	var ran atomic.Int64
+	const n = 50
+	for i := 0; i < n; i++ {
+		p.Go(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if ran.Load() != n {
+		t.Errorf("ran %d tasks, want %d", ran.Load(), n)
+	}
+	sc := r.Scope("pool")
+	if got := sc.Counter("tasks_submitted").Value(); got != n {
+		t.Errorf("tasks_submitted = %d, want %d", got, n)
+	}
+	if got := sc.Counter("tasks_completed").Value(); got != n {
+		t.Errorf("tasks_completed = %d, want %d", got, n)
+	}
+	if got := sc.Counter("tasks_failed").Value(); got != 0 {
+		t.Errorf("tasks_failed = %d, want 0", got)
+	}
+	if got := sc.Histogram("task_ns").Count(); got != n {
+		t.Errorf("task_ns count = %d, want %d", got, n)
+	}
+	if got := sc.Gauge("workers_busy").Value(); got != 0 {
+		t.Errorf("workers_busy after Wait = %d, want 0", got)
+	}
+}
+
+func TestPoolFirstErrorWinsAndDrains(t *testing.T) {
+	r := NewRegistry()
+	p := NewPoolIn(r, 2)
+	sentinel := errors.New("boom")
+	var ran atomic.Int64
+	const n = 20
+	for i := 0; i < n; i++ {
+		i := i
+		p.Go(func() error {
+			ran.Add(1)
+			if i == 3 {
+				return sentinel
+			}
+			if i > 10 {
+				return fmt.Errorf("late error %d", i)
+			}
+			return nil
+		})
+	}
+	err := p.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil, want an error")
+	}
+	// Every task still ran: a failure never cancels its peers.
+	if ran.Load() != n {
+		t.Errorf("ran %d tasks, want %d (pool must drain)", ran.Load(), n)
+	}
+	if got := r.Scope("pool").Counter("tasks_completed").Value(); got != n {
+		t.Errorf("tasks_completed = %d, want %d", got, n)
+	}
+	if got := r.Scope("pool").Counter("tasks_failed").Value(); got == 0 {
+		t.Error("tasks_failed = 0, want > 0")
+	}
+	// With 2 workers pulling in submission order, task 3 fails while tasks
+	// 11+ are still queued behind it, so the sentinel must win.
+	if !errors.Is(err, sentinel) {
+		t.Errorf("Wait = %v, want first error %v", err, sentinel)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 3
+	p := NewPoolIn(r, workers)
+	var cur, peak atomic.Int64
+	for i := 0; i < 40; i++ {
+		p.Go(func() error {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			// Burn a little work so tasks overlap.
+			s := 0
+			for j := 0; j < 10000; j++ {
+				s += j
+			}
+			_ = s
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", peak.Load(), workers)
+	}
+	if got := r.Scope("pool").Gauge("workers").Value(); got != workers {
+		t.Errorf("workers gauge = %d, want %d", got, workers)
+	}
+}
+
+func TestPoolDefaultWorkerCount(t *testing.T) {
+	r := NewRegistry()
+	p := NewPoolIn(r, 0)
+	p.Go(func() error { return nil })
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Scope("pool").Gauge("workers").Value(); got < 1 {
+		t.Errorf("workers gauge = %d, want >= 1 (GOMAXPROCS default)", got)
+	}
+}
+
+func TestPoolNilTask(t *testing.T) {
+	p := NewPoolIn(NewRegistry(), 1)
+	p.Go(nil)
+	if err := p.Wait(); err == nil {
+		t.Error("nil task accepted without error")
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+// The debug server exposes the default registry and the runtime's own
+// introspection endpoints over HTTP for long sweeps:
+//
+//	/metrics      deterministic text snapshot (same as -metrics)
+//	/metrics.json the snapshot as JSON
+//	/debug/vars   expvar (includes the registry under "telemetry")
+//	/debug/pprof  net/http/pprof profiles
+//
+// The server uses its own mux — nothing is registered on
+// http.DefaultServeMux — so importing this package never changes a host
+// program's routing.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry's snapshot as the expvar
+// variable "telemetry". Idempotent; called automatically by ServeDebug.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts the debug HTTP server on addr (host:port; use ":0"
+// for an ephemeral port) and returns the bound address. The server runs
+// until the process exits.
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: metrics server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = Default().Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Default().Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

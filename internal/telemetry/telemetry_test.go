@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		value     uint64
+		low, high uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{7, 4, 7},
+		{8, 8, 15},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+		{1 << 62, 1 << 62, 1<<63 - 1},
+		{1 << 63, 1 << 63, math.MaxUint64},
+		{math.MaxUint64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		i := bucketIndex(c.value)
+		low, high := BucketBounds(i)
+		if low != c.low || high != c.high {
+			t.Errorf("value %d: bucket %d = [%d, %d], want [%d, %d]",
+				c.value, i, low, high, c.low, c.high)
+		}
+		if c.value < low || c.value > high {
+			t.Errorf("value %d falls outside its own bucket [%d, %d]", c.value, low, high)
+		}
+	}
+}
+
+func TestHistogramSnapshotStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 5, 5, 1024} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1035 {
+		t.Errorf("sum = %d, want 1035", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1024 {
+		t.Errorf("min/max = %d/%d, want 0/1024", s.Min, s.Max)
+	}
+	if got, want := s.Mean(), 1035.0/5; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	// Buckets: {0}, {1}, {5,5} in [4,7], {1024} in [1024,2047].
+	wantBuckets := []Bucket{
+		{Low: 0, High: 0, Count: 1},
+		{Low: 1, High: 1, Count: 1},
+		{Low: 4, High: 7, Count: 2},
+		{Low: 1024, High: 2047, Count: 1},
+	}
+	if len(s.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, wantBuckets)
+	}
+	for i, b := range wantBuckets {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	// Populate scopes and metrics in a scattered order.
+	r.Scope("zeta").Counter("c2").Add(7)
+	r.Scope("alpha").Gauge("g").Set(-3)
+	r.Scope("zeta").Counter("c1").Add(1)
+	r.Scope("alpha").Histogram("h").Record(42)
+	r.Scope("mid").Counter("x").Add(2)
+
+	var text1, text2, json1, json2 bytes.Buffer
+	if err := r.Snapshot().WriteText(&text1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteText(&text2); err != nil {
+		t.Fatal(err)
+	}
+	if text1.String() != text2.String() {
+		t.Errorf("text snapshots differ:\n%s\nvs\n%s", text1.String(), text2.String())
+	}
+	if err := r.Snapshot().WriteJSON(&json1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&json2); err != nil {
+		t.Fatal(err)
+	}
+	if json1.String() != json2.String() {
+		t.Errorf("JSON snapshots differ:\n%s\nvs\n%s", json1.String(), json2.String())
+	}
+	// Scopes appear in sorted order in the text form.
+	text := text1.String()
+	ia, im, iz := strings.Index(text, "alpha:"), strings.Index(text, "mid:"), strings.Index(text, "zeta:")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Errorf("scopes not sorted in text output:\n%s", text)
+	}
+}
+
+func TestScopeReturnsSameMetricInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Scope("s").Counter("c") != r.Scope("s").Counter("c") {
+		t.Error("Counter not identical across lookups")
+	}
+	if r.Scope("s").Gauge("g") != r.Scope("s").Gauge("g") {
+		t.Error("Gauge not identical across lookups")
+	}
+	if r.Scope("s").Histogram("h") != r.Scope("s").Histogram("h") {
+		t.Error("Histogram not identical across lookups")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Mix registration with updates: every goroutine looks the
+			// metrics up fresh each iteration.
+			for i := 0; i < perG; i++ {
+				sc := r.Scope("conc")
+				sc.Counter("n").Add(1)
+				sc.Gauge("g").Add(1)
+				sc.Histogram("h").Record(uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	sc := r.Scope("conc")
+	if got := sc.Counter("n").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := sc.Gauge("g").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	h := sc.Histogram("h").Snapshot()
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	if h.Min != 0 || h.Max != perG-1 {
+		t.Errorf("histogram min/max = %d/%d, want 0/%d", h.Min, h.Max, perG-1)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("a").Counter("c").Add(5)
+	r.Reset()
+	if got := len(r.Snapshot()); got != 0 {
+		t.Errorf("snapshot has %d scopes after Reset, want 0", got)
+	}
+	// The registry stays usable.
+	r.Scope("a").Counter("c").Add(1)
+	if got := r.Scope("a").Counter("c").Value(); got != 1 {
+		t.Errorf("counter after Reset = %d, want 1", got)
+	}
+}
+
+func TestGaugeSetAndAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-25)
+	if got := g.Value(); got != -15 {
+		t.Errorf("gauge = %d, want -15", got)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty histogram snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty mean = %g, want 0", s.Mean())
+	}
+}
