@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench cover
+.PHONY: build test race lint bench cover test-parallel
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,26 @@ race:
 	$(GO) test -race ./...
 
 # gofmt -l lists unformatted files; any output fails the target.
+# staticcheck runs when installed (CI installs it; offline dev boxes may
+# not have it, and must not fail for lack of a network).
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# The parallel-pipeline determinism suite under the race detector: the
+# merge property test, the sharded-collector equivalence tests, and the
+# grid/singleflight/cancellation tests of the experiments package.
+test-parallel:
+	$(GO) test -race -count=1 -run 'TestMerge|TestSharded' ./internal/interval/
+	$(GO) test -race -count=1 -run 'TestShardedSuite|TestGridMatches|TestAllContextCancel|TestDataSingleflight|TestWaiterCancellation' ./internal/experiments/
 
 # One iteration of every benchmark, no unit tests: a smoke test that keeps
 # bench_test.go compiling and running (the nightly CI job runs this).

@@ -8,6 +8,7 @@ package leakbound_test
 // summary.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -161,6 +162,53 @@ func BenchmarkPipelineSimulateGzip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPipelineSimulateGzipSharded is the same end-to-end pipeline
+// with interval collection sharded over 4 workers; compare against
+// BenchmarkPipelineSimulateGzip for the intra-benchmark speedup (on a
+// multi-core host; on one core the inline path above wins).
+func BenchmarkPipelineSimulateGzipSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.MustNew(experiments.WithScale(0.05), experiments.WithWorkers(4))
+		if _, err := s.Data("gzip"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Grid benches: the Figure 8 evaluation cell set (6 benchmarks x 6
+// schemes x both caches) through EvaluateGrid at different worker counts.
+// Cells carry their own distributions, so the grid suites need no
+// simulation of their own.
+
+func benchGrid(b *testing.B, workers int) {
+	b.Helper()
+	s := sharedSuite(b)
+	all, err := s.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tech := power.Default()
+	var cells []experiments.Cell
+	for _, bd := range all {
+		for _, p := range experiments.Figure8Policies() {
+			cells = append(cells,
+				experiments.Cell{Tech: tech, Policy: p, Dist: bd.ICache},
+				experiments.Cell{Tech: tech, Policy: p, Dist: bd.DCache})
+		}
+	}
+	gs := experiments.MustNew(experiments.WithWorkers(workers))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gs.EvaluateGrid(ctx, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridFigure8Workers1(b *testing.B) { benchGrid(b, 1) }
+func BenchmarkGridFigure8Workers4(b *testing.B) { benchGrid(b, 4) }
 
 // Ablation benches (design choices called out in DESIGN.md):
 

@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-only item[,item...]]
+//	experiments [-scale f] [-workers n] [-timeout d] [-only item[,item...]]
 //
 // where item is one of: fig1, table1, table2, table3, fig7, fig8, fig9,
 // fig10, profile, extensions. With no -only, everything is produced in
 // paper order followed by the extension studies.
-// -scale stretches the benchmark lengths (1.0 = the full study length).
+// -scale stretches the benchmark lengths (1.0 = the full study length);
+// -workers bounds the parallel pipeline (benchmark fan-out, per-benchmark
+// collection shards, and evaluation-grid workers; 0 = GOMAXPROCS);
+// -timeout aborts the whole run after a duration. Ctrl-C (SIGINT/SIGTERM)
+// cancels cleanly: in-flight simulations stop at their next cancellation
+// check and partial telemetry is still flushed.
 //
 // Observability: -metrics prints a telemetry snapshot (per-benchmark
 // simulation time, event counts, disk-cache hits/misses, pool utilization)
@@ -17,10 +22,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"leakbound/internal/experiments"
 	"leakbound/internal/report"
@@ -29,18 +38,30 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = full study length)")
+	workers := flag.Int("workers", 0, "parallelism bound: benchmark fan-out, per-benchmark shards, grid workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
 	format := flag.String("format", "text", "output format: text, markdown, or csv")
 	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	stop, err := obs.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	err = run(*scale, *only, *cacheDir, *format)
+	err = run(ctx, *scale, *workers, *only, *cacheDir, *format)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "experiments: aborted:", err)
+	}
 	if stopErr := stop(); err == nil {
 		err = stopErr
 	}
@@ -50,7 +71,7 @@ func main() {
 	}
 }
 
-func run(scale float64, only, cacheDir, format string) error {
+func run(ctx context.Context, scale float64, workers int, only, cacheDir, format string) error {
 	var render func(*report.Table) error
 	switch format {
 	case "text":
@@ -62,12 +83,13 @@ func run(scale float64, only, cacheDir, format string) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want text, markdown, or csv)", format)
 	}
-	suite, err := experiments.NewSuite(scale)
+	suite, err := experiments.New(
+		experiments.WithScale(scale),
+		experiments.WithWorkers(workers),
+		experiments.WithCacheDir(cacheDir),
+	)
 	if err != nil {
 		return err
-	}
-	if cacheDir != "" {
-		suite.WithCacheDir(cacheDir)
 	}
 	want := map[string]bool{}
 	if only != "" {
@@ -96,7 +118,7 @@ func run(scale float64, only, cacheDir, format string) error {
 	}
 	if selected("fig7") {
 		for _, iCache := range []bool{true, false} {
-			sleep, hybrid, err := experiments.Figure7(suite, iCache)
+			sleep, hybrid, err := experiments.Figure7Context(ctx, suite, iCache)
 			if err != nil {
 				return err
 			}
@@ -114,7 +136,7 @@ func run(scale float64, only, cacheDir, format string) error {
 	}
 	if selected("fig8") {
 		for _, iCache := range []bool{true, false} {
-			t, err := experiments.Figure8Table(suite, iCache)
+			t, err := experiments.Figure8TableContext(ctx, suite, iCache)
 			if err != nil {
 				return err
 			}
@@ -123,13 +145,13 @@ func run(scale float64, only, cacheDir, format string) error {
 			}
 			fmt.Fprintln(out)
 		}
-		pb, opt, gap, err := experiments.GapToOptimal(suite, true)
+		pb, opt, gap, err := experiments.GapToOptimalContext(ctx, suite, true)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "I-cache: Prefetch-B %s vs OPT-Hybrid %s (gap %.1f%%)\n",
 			report.Pct(pb), report.Pct(opt), gap*100)
-		pb, opt, gap, err = experiments.GapToOptimal(suite, false)
+		pb, opt, gap, err = experiments.GapToOptimalContext(ctx, suite, false)
 		if err != nil {
 			return err
 		}
@@ -137,7 +159,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			report.Pct(pb), report.Pct(opt), gap*100)
 	}
 	if selected("table2") {
-		t, err := experiments.Table2(suite)
+		t, err := experiments.Table2Context(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -154,7 +176,7 @@ func run(scale float64, only, cacheDir, format string) error {
 	}
 	if selected("fig9") {
 		for _, iCache := range []bool{true, false} {
-			t, err := experiments.Figure9Table(suite, iCache)
+			t, err := experiments.Figure9TableContext(ctx, suite, iCache)
 			if err != nil {
 				return err
 			}
@@ -175,7 +197,7 @@ func run(scale float64, only, cacheDir, format string) error {
 		fmt.Fprintln(out)
 	}
 	if selected("extensions") {
-		ext, err := experiments.ExtendedSchemesTable(suite)
+		ext, err := experiments.ExtendedSchemesTableContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -183,7 +205,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		l2, err := experiments.L2Study(suite)
+		l2, err := experiments.L2StudyContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -191,7 +213,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		wb, err := experiments.WritebackAblation(suite)
+		wb, err := experiments.WritebackAblationContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -199,7 +221,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		ts, err := experiments.TemperatureSweep(suite, "gzip")
+		ts, err := experiments.TemperatureSweepContext(ctx, suite, "gzip")
 		if err != nil {
 			return err
 		}
@@ -207,7 +229,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		pq, err := experiments.PrefetcherQualityTable(suite)
+		pq, err := experiments.PrefetcherQualityTableContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -221,7 +243,7 @@ func run(scale float64, only, cacheDir, format string) error {
 		if geomScale > 0.25 {
 			geomScale = 0.25
 		}
-		geo, err := experiments.GeometrySweep(geomScale)
+		geo, err := experiments.GeometrySweepContext(ctx, geomScale)
 		if err != nil {
 			return err
 		}
@@ -229,7 +251,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		ld, err := experiments.LiveDeadStudy(suite)
+		ld, err := experiments.LiveDeadStudyContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -237,7 +259,7 @@ func run(scale float64, only, cacheDir, format string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		bk, err := experiments.BreakdownTable(suite)
+		bk, err := experiments.BreakdownTableContext(ctx, suite)
 		if err != nil {
 			return err
 		}
@@ -247,7 +269,7 @@ func run(scale float64, only, cacheDir, format string) error {
 		fmt.Fprintln(out)
 	}
 	if selected("profile") {
-		all, err := suite.All()
+		all, err := suite.AllContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestRunSubsets(t *testing.T) {
 	// Static items are fast; simulated items run at a tiny scale.
 	for _, only := range []string{"fig1", "table1", "table3", "fig10"} {
-		if err := run(0.02, only, "", "text"); err != nil {
+		if err := run(context.Background(), 0.02, 0, only, "", "text"); err != nil {
 			t.Errorf("run(%q): %v", only, err)
 		}
 	}
@@ -21,23 +22,23 @@ func TestRunSimulatedSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates the full suite")
 	}
-	if err := run(0.02, "fig8,fig9", "", "markdown"); err != nil {
+	if err := run(context.Background(), 0.02, 2, "fig8,fig9", "", "markdown"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(0, "table1", "", "text"); err == nil {
+	if err := run(context.Background(), 0, 0, "table1", "", "text"); err == nil {
 		t.Error("zero scale accepted")
 	}
-	if err := run(0.02, "table1", "", "html"); err == nil {
+	if err := run(context.Background(), 0.02, 0, "table1", "", "html"); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
 
 func TestRunWithDiskCache(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(0.02, "table1", dir, "csv"); err != nil {
+	if err := run(context.Background(), 0.02, 0, "table1", dir, "csv"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,7 +53,7 @@ func TestRunWithMetricsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0.02, "profile", t.TempDir(), "text"); err != nil {
+	if err := run(context.Background(), 0.02, 0, "profile", t.TempDir(), "text"); err != nil {
 		t.Fatal(err)
 	}
 	if err := stop(); err != nil {

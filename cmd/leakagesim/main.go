@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"leakbound/internal/experiments"
 	"leakbound/internal/interval"
@@ -31,15 +34,23 @@ func main() {
 	techName := flag.String("tech", "70nm", "technology node: 70nm, 100nm, 130nm, 180nm")
 	cacheSide := flag.String("cache", "both", "which cache to evaluate: I, D, or both")
 	showStats := flag.Bool("stats", false, "also print the interior interval length distribution")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	stop, err := obs.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leakagesim:", err)
 		os.Exit(1)
 	}
-	err = run(*bench, *scale, *techName, *cacheSide, *showStats)
+	err = run(ctx, *bench, *scale, *techName, *cacheSide, *showStats)
 	if stopErr := stop(); err == nil {
 		err = stopErr
 	}
@@ -49,7 +60,7 @@ func main() {
 	}
 }
 
-func run(bench string, scale float64, techName, cacheSide string, showStats bool) error {
+func run(ctx context.Context, bench string, scale float64, techName, cacheSide string, showStats bool) error {
 	if err := workload.Validate(bench); err != nil {
 		return err
 	}
@@ -57,11 +68,11 @@ func run(bench string, scale float64, techName, cacheSide string, showStats bool
 	if err != nil {
 		return err
 	}
-	suite, err := experiments.NewSuite(scale)
+	suite, err := experiments.New(experiments.WithScale(scale))
 	if err != nil {
 		return err
 	}
-	data, err := suite.Data(bench)
+	data, err := suite.DataContext(ctx, bench)
 	if err != nil {
 		return err
 	}

@@ -1,29 +1,30 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
 func TestRunBothCaches(t *testing.T) {
-	if err := run("gzip", 0.02, "70nm", "both", true); err != nil {
+	if err := run(context.Background(), "gzip", 0.02, "70nm", "both", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleCacheOtherTech(t *testing.T) {
-	if err := run("applu", 0.02, "180nm", "I", false); err != nil {
+	if err := run(context.Background(), "applu", 0.02, "180nm", "I", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", 0.02, "70nm", "both", false); err == nil {
+	if err := run(context.Background(), "nope", 0.02, "70nm", "both", false); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("gzip", 0.02, "7nm", "both", false); err == nil {
+	if err := run(context.Background(), "gzip", 0.02, "7nm", "both", false); err == nil {
 		t.Error("unknown technology accepted")
 	}
-	if err := run("gzip", 0.02, "70nm", "Z", false); err == nil {
+	if err := run(context.Background(), "gzip", 0.02, "70nm", "Z", false); err == nil {
 		t.Error("unknown cache side accepted")
 	}
 }

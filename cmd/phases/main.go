@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"leakbound/internal/report"
 	"leakbound/internal/simpoint"
@@ -31,12 +34,15 @@ func main() {
 	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	stop, err := obs.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "phases:", err)
 		os.Exit(1)
 	}
-	err = run(*bench, *scale, *window, *k)
+	err = run(ctx, *bench, *scale, *window, *k)
 	if stopErr := stop(); err == nil {
 		err = stopErr
 	}
@@ -46,12 +52,12 @@ func main() {
 	}
 }
 
-func run(bench string, scale float64, window, k int) error {
+func run(ctx context.Context, bench string, scale float64, window, k int) error {
 	w, err := workload.New(bench, scale)
 	if err != nil {
 		return err
 	}
-	res, err := simpoint.PickSimPoints(w, window, k)
+	res, err := simpoint.PickSimPointsContext(ctx, w, window, k)
 	if err != nil {
 		return err
 	}

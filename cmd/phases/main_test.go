@@ -1,21 +1,24 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunPhases(t *testing.T) {
-	if err := run("mesa", 0.05, 50000, 4); err != nil {
+	if err := run(context.Background(), "mesa", 0.05, 50000, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPhasesErrors(t *testing.T) {
-	if err := run("nope", 0.05, 50000, 4); err == nil {
+	if err := run(context.Background(), "nope", 0.05, 50000, 4); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("mesa", 0.05, 0, 4); err == nil {
+	if err := run(context.Background(), "mesa", 0.05, 0, 4); err == nil {
 		t.Error("zero window accepted")
 	}
-	if err := run("mesa", 0.05, 50000, 0); err == nil {
+	if err := run(context.Background(), "mesa", 0.05, 50000, 0); err == nil {
 		t.Error("zero k accepted")
 	}
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/cpu"
@@ -32,6 +35,9 @@ func main() {
 	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	stop, err := obs.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -40,7 +46,7 @@ func main() {
 	if *summarize != "" {
 		err = runSummarize(*summarize)
 	} else {
-		err = runGenerate(*bench, *side, *out, *scale)
+		err = runGenerate(ctx, *bench, *side, *out, *scale)
 	}
 	if stopErr := stop(); err == nil {
 		err = stopErr
@@ -64,7 +70,7 @@ func cacheID(side string) (trace.CacheID, error) {
 	}
 }
 
-func runGenerate(bench, side, out string, scale float64) error {
+func runGenerate(ctx context.Context, bench, side, out string, scale float64) error {
 	if out == "" {
 		return fmt.Errorf("missing -o output file")
 	}
@@ -80,7 +86,7 @@ func runGenerate(bench, side, out string, scale float64) error {
 	if err != nil {
 		return err
 	}
-	stream, res, err := cpu.RunToStream(w, hier, cpu.DefaultConfig(), id)
+	stream, res, err := cpu.RunToStreamContext(ctx, w, hier, cpu.DefaultConfig(), id)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestGenerateAndSummarize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "t.trc")
-	if err := runGenerate("gzip", "D", out, 0.02); err != nil {
+	if err := runGenerate(context.Background(), "gzip", "D", out, 0.02); err != nil {
 		t.Fatal(err)
 	}
 	if err := runSummarize(out); err != nil {
@@ -21,20 +22,20 @@ func TestGenerateICacheAndL2(t *testing.T) {
 	dir := t.TempDir()
 	for _, side := range []string{"I", "L2"} {
 		out := filepath.Join(dir, side+".trc")
-		if err := runGenerate("ammp", side, out, 0.02); err != nil {
+		if err := runGenerate(context.Background(), "ammp", side, out, 0.02); err != nil {
 			t.Fatalf("%s: %v", side, err)
 		}
 	}
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if err := runGenerate("gzip", "D", "", 0.02); err == nil {
+	if err := runGenerate(context.Background(), "gzip", "D", "", 0.02); err == nil {
 		t.Error("missing output accepted")
 	}
-	if err := runGenerate("gzip", "Q", "x.trc", 0.02); err == nil {
+	if err := runGenerate(context.Background(), "gzip", "Q", "x.trc", 0.02); err == nil {
 		t.Error("unknown cache accepted")
 	}
-	if err := runGenerate("nope", "D", "x.trc", 0.02); err == nil {
+	if err := runGenerate(context.Background(), "nope", "D", "x.trc", 0.02); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	if err := runSummarize(filepath.Join(t.TempDir(), "missing.trc")); err == nil {

@@ -15,7 +15,6 @@ import (
 	"leakbound/internal/interval"
 	"leakbound/internal/prefetch"
 	"leakbound/internal/sim/cpu"
-	"leakbound/internal/telemetry"
 )
 
 // cacheVersion invalidates old cache entries whenever the simulator,
@@ -24,6 +23,9 @@ const cacheVersion = 3
 
 // WithCacheDir enables disk caching under dir for all subsequent Data
 // calls. Passing the empty string disables caching (the default).
+//
+// Deprecated: prefer the construction-time option of the same name,
+// experiments.WithCacheDir, passed to New.
 func (s *Suite) WithCacheDir(dir string) *Suite {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -51,7 +53,7 @@ func (s *Suite) cacheKey(name string) string {
 func (s *Suite) loadCached(name string) (d *BenchmarkData) {
 	// Touching both counters up front keeps them visible (at zero) in every
 	// snapshot, even before the first hit or miss of the other kind.
-	dc := telemetry.Default().Scope("diskcache")
+	dc := s.metrics.Scope("diskcache")
 	hits, misses := dc.Counter("hits"), dc.Counter("misses")
 	defer func() {
 		if d != nil {
@@ -147,7 +149,7 @@ func (s *Suite) storeCached(d *BenchmarkData) {
 		return
 	}
 	if os.Rename(tmp, base+".json") == nil {
-		telemetry.Default().Scope("diskcache").Counter("stores").Add(1)
+		s.metrics.Scope("diskcache").Counter("stores").Add(1)
 	}
 }
 

@@ -6,6 +6,7 @@ package experiments
 // dirty-line write-back cost, and temperature sensitivity.
 
 import (
+	"context"
 	"fmt"
 
 	"leakbound/internal/interval"
@@ -19,7 +20,12 @@ import (
 // both caches, at 70nm. This is the comparison Section 2's survey implies
 // but the paper never plots.
 func ExtendedSchemesTable(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return ExtendedSchemesTableContext(context.Background(), s)
+}
+
+// ExtendedSchemesTableContext is the cancellable ExtendedSchemesTable.
+func ExtendedSchemesTableContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +113,12 @@ func ExtendedSchemesTable(s *Suite) (*report.Table, error) {
 // restricts itself to the L1s; this is the natural next target its
 // conclusion implies.
 func L2Study(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return L2StudyContext(context.Background(), s)
+}
+
+// L2StudyContext is the cancellable L2Study.
+func L2StudyContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +159,12 @@ func L2Study(s *Suite) (*report.Table, error) {
 // energy is swept from zero (the paper's implicit assumption) to the full
 // induced-miss energy, and OPT-Hybrid's D-cache savings re-evaluated.
 func WritebackAblation(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return WritebackAblationContext(context.Background(), s)
+}
+
+// WritebackAblationContext is the cancellable WritebackAblation.
+func WritebackAblationContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +199,12 @@ func WritebackAblation(s *Suite) (*report.Table, error) {
 // silicon should sleep more aggressively. The paper's generalized model
 // exists exactly to answer questions like this.
 func TemperatureSweep(s *Suite, benchmark string) (*report.Table, error) {
-	bd, err := s.Data(benchmark)
+	return TemperatureSweepContext(context.Background(), s, benchmark)
+}
+
+// TemperatureSweepContext is the cancellable TemperatureSweep.
+func TemperatureSweepContext(ctx context.Context, s *Suite, benchmark string) (*report.Table, error) {
+	bd, err := s.DataContext(ctx, benchmark)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +240,12 @@ func TemperatureSweep(s *Suite, benchmark string) (*report.Table, error) {
 // premise (citing Sair, Sherwood & Calder) that next-line and stride
 // prefetching capture most cache misses.
 func PrefetcherQualityTable(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return PrefetcherQualityTableContext(context.Background(), s)
+}
+
+// PrefetcherQualityTableContext is the cancellable PrefetcherQualityTable.
+func PrefetcherQualityTableContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +280,12 @@ func PrefetcherQualityTable(s *Suite) (*report.Table, error) {
 // the savings attributable to live/dead knowledge — per the paper, it
 // should be small.
 func LiveDeadStudy(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return LiveDeadStudyContext(context.Background(), s)
+}
+
+// LiveDeadStudyContext is the cancellable LiveDeadStudy.
+func LiveDeadStudyContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +320,12 @@ func LiveDeadStudy(s *Suite) (*report.Table, error) {
 // use (active mass, drowsy retention, transitions, induced misses,
 // residual sleep leakage).
 func BreakdownTable(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return BreakdownTableContext(context.Background(), s)
+}
+
+// BreakdownTableContext is the cancellable BreakdownTable.
+func BreakdownTableContext(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,8 @@ import (
 	"leakbound/internal/interval"
 	"leakbound/internal/leakage"
 	"leakbound/internal/power"
+	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/trace"
 )
 
 func TestExtendedSchemesTable(t *testing.T) {
@@ -205,20 +207,20 @@ func TestPrefetcherQualityTable(t *testing.T) {
 }
 
 func TestSimulateCustom(t *testing.T) {
-	hc := cacheAlphaLike()
-	dist, res, err := SimulateCustom("gzip", 0.05, hc, traceL1D())
+	hc := cache.AlphaLike()
+	dist, res, err := SimulateCustom("gzip", 0.05, hc, trace.L1D)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dist.Mass() != uint64(dist.NumFrames)*res.Cycles {
 		t.Error("custom simulation violates mass conservation")
 	}
-	if _, _, err := SimulateCustom("nope", 0.05, hc, traceL1D()); err == nil {
+	if _, _, err := SimulateCustom("nope", 0.05, hc, trace.L1D); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	bad := hc
 	bad.L1D.SizeBytes = 1000
-	if _, _, err := SimulateCustom("gzip", 0.05, bad, traceL1D()); err == nil {
+	if _, _, err := SimulateCustom("gzip", 0.05, bad, trace.L1D); err == nil {
 		t.Error("bad hierarchy accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,31 +23,49 @@ func Figure7Thetas() []uint64 {
 // method while sweeping the minimum interval length that may be put to
 // sleep. Results are averaged across all benchmarks, as in the paper.
 // iCache selects Figure 7(a) (instruction cache) vs 7(b) (data cache).
+// It is Figure7Context with a background context.
 func Figure7(s *Suite, iCache bool) (sleep, hybrid *report.Series, err error) {
-	all, err := s.All()
+	return Figure7Context(context.Background(), s, iCache)
+}
+
+// Figure7Context is the cancellable Figure7. The (theta x benchmark x
+// {sleep, hybrid}) cells evaluate concurrently on the suite's grid; the
+// per-theta averages are then reduced in the sequential loop order, so the
+// series are bit-identical to a sequential evaluation.
+func Figure7Context(ctx context.Context, s *Suite, iCache bool) (sleep, hybrid *report.Series, err error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	tech := power.Default()
-	sleep = &report.Series{Name: "Sleep"}
-	hybrid = &report.Series{Name: "Sleep+Drowsy"}
-	for _, theta := range Figure7Thetas() {
-		var sSum, hSum float64
+	thetas := Figure7Thetas()
+	cells := make([]Cell, 0, 2*len(thetas)*len(all))
+	for _, theta := range thetas {
 		for _, bd := range all {
 			dist := bd.ICache
 			if !iCache {
 				dist = bd.DCache
 			}
-			sEv, err := leakage.Evaluate(tech, dist, leakage.OPTSleep{Theta: theta})
-			if err != nil {
-				return nil, nil, err
-			}
-			hEv, err := leakage.Evaluate(tech, dist, leakage.OPTHybrid{SleepTheta: theta})
-			if err != nil {
-				return nil, nil, err
-			}
-			sSum += sEv.Savings
-			hSum += hEv.Savings
+			cells = append(cells,
+				Cell{Tech: tech, Policy: leakage.OPTSleep{Theta: theta}, Dist: dist,
+					Label: fmt.Sprintf("fig7/%s/sleep@%d", bd.Name, theta)},
+				Cell{Tech: tech, Policy: leakage.OPTHybrid{SleepTheta: theta}, Dist: dist,
+					Label: fmt.Sprintf("fig7/%s/hybrid@%d", bd.Name, theta)})
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	sleep = &report.Series{Name: "Sleep"}
+	hybrid = &report.Series{Name: "Sleep+Drowsy"}
+	i := 0
+	for _, theta := range thetas {
+		var sSum, hSum float64
+		for range all {
+			sSum += evs[i].Savings
+			hSum += evs[i+1].Savings
+			i += 2
 		}
 		n := float64(len(all))
 		sleep.Add(float64(theta), sSum/n)
@@ -75,29 +94,47 @@ type Figure8Row struct {
 }
 
 // Figure8 evaluates the six schemes on every benchmark plus the average,
-// for one cache side, at 70nm.
+// for one cache side, at 70nm. It is Figure8Context with a background
+// context.
 func Figure8(s *Suite, iCache bool) ([]Figure8Row, error) {
-	all, err := s.All()
+	return Figure8Context(context.Background(), s, iCache)
+}
+
+// Figure8Context is the cancellable Figure8. The (benchmark x scheme)
+// cells evaluate concurrently on the suite's grid; rows and averages are
+// reduced in the sequential loop order, bit-identical to a sequential
+// evaluation.
+func Figure8Context(ctx context.Context, s *Suite, iCache bool) ([]Figure8Row, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	tech := power.Default()
 	policies := Figure8Policies()
-	rows := make([]Figure8Row, 0, len(all)+1)
-	avg := make([]float64, len(policies))
+	cells := make([]Cell, 0, len(all)*len(policies))
 	for _, bd := range all {
 		dist := bd.ICache
 		if !iCache {
 			dist = bd.DCache
 		}
+		for _, p := range policies {
+			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist,
+				Label: fmt.Sprintf("fig8/%s/%s", bd.Name, p.Name())})
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure8Row, 0, len(all)+1)
+	avg := make([]float64, len(policies))
+	k := 0
+	for _, bd := range all {
 		row := Figure8Row{Benchmark: bd.Name, Savings: make([]float64, len(policies))}
-		for i, p := range policies {
-			ev, err := leakage.Evaluate(tech, dist, p)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", bd.Name, p.Name(), err)
-			}
-			row.Savings[i] = ev.Savings
-			avg[i] += ev.Savings / float64(len(all))
+		for i := range policies {
+			row.Savings[i] = evs[k].Savings
+			avg[i] += evs[k].Savings / float64(len(all))
+			k++
 		}
 		rows = append(rows, row)
 	}
@@ -105,9 +142,15 @@ func Figure8(s *Suite, iCache bool) ([]Figure8Row, error) {
 	return rows, nil
 }
 
-// Figure8Table renders Figure 8 as a table (benchmarks x schemes).
+// Figure8Table renders Figure 8 as a table (benchmarks x schemes). It is
+// Figure8TableContext with a background context.
 func Figure8Table(s *Suite, iCache bool) (*report.Table, error) {
-	rows, err := Figure8(s, iCache)
+	return Figure8TableContext(context.Background(), s, iCache)
+}
+
+// Figure8TableContext is the cancellable Figure8Table.
+func Figure8TableContext(ctx context.Context, s *Suite, iCache bool) (*report.Table, error) {
+	rows, err := Figure8Context(ctx, s, iCache)
 	if err != nil {
 		return nil, err
 	}
@@ -133,9 +176,15 @@ func Figure8Table(s *Suite, iCache bool) (*report.Table, error) {
 // Figure9 computes the prefetchability breakdown of cache access intervals
 // by length regime, aggregated over all benchmarks, for one cache side.
 // The paper reports next-line prefetchability of 23% for the instruction
-// cache, and 16.3% next-line + 5.1% stride for the data cache.
+// cache, and 16.3% next-line + 5.1% stride for the data cache. It is
+// Figure9Context with a background context.
 func Figure9(s *Suite, iCache bool) (prefetch.Prefetchability, error) {
-	iDist, dDist, err := s.MergedDistributions()
+	return Figure9Context(context.Background(), s, iCache)
+}
+
+// Figure9Context is the cancellable Figure9.
+func Figure9Context(ctx context.Context, s *Suite, iCache bool) (prefetch.Prefetchability, error) {
+	iDist, dDist, err := s.MergedDistributionsContext(ctx)
 	if err != nil {
 		return prefetch.Prefetchability{}, err
 	}
@@ -150,9 +199,15 @@ func Figure9(s *Suite, iCache bool) (prefetch.Prefetchability, error) {
 	return prefetch.Analyze(dist, a, b), nil
 }
 
-// Figure9Table renders the Figure 9 breakdown.
+// Figure9Table renders the Figure 9 breakdown. It is Figure9TableContext
+// with a background context.
 func Figure9Table(s *Suite, iCache bool) (*report.Table, error) {
-	p, err := Figure9(s, iCache)
+	return Figure9TableContext(context.Background(), s, iCache)
+}
+
+// Figure9TableContext is the cancellable Figure9Table.
+func Figure9TableContext(ctx context.Context, s *Suite, iCache bool) (*report.Table, error) {
+	p, err := Figure9Context(ctx, s, iCache)
 	if err != nil {
 		return nil, err
 	}
@@ -231,9 +286,15 @@ func Figure10Table() (*report.Table, error) {
 
 // GapToOptimal reports the paper's Section 5.2 headline: how close
 // Prefetch-B comes to OPT-Hybrid, for one cache side (paper: within 5.3%
-// for the instruction cache, 6.7% for the data cache).
+// for the instruction cache, 6.7% for the data cache). It is
+// GapToOptimalContext with a background context.
 func GapToOptimal(s *Suite, iCache bool) (prefetchB, optHybrid, gap float64, err error) {
-	rows, err := Figure8(s, iCache)
+	return GapToOptimalContext(context.Background(), s, iCache)
+}
+
+// GapToOptimalContext is the cancellable GapToOptimal.
+func GapToOptimalContext(ctx context.Context, s *Suite, iCache bool) (prefetchB, optHybrid, gap float64, err error) {
+	rows, err := Figure8Context(ctx, s, iCache)
 	if err != nil {
 		return 0, 0, 0, err
 	}

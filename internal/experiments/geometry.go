@@ -8,6 +8,7 @@ package experiments
 // caches grow.
 
 import (
+	"context"
 	"fmt"
 
 	"leakbound/internal/interval"
@@ -22,8 +23,14 @@ import (
 
 // SimulateCustom runs one benchmark on an arbitrary hierarchy and returns
 // the flagged interval distribution of the selected cache. It exists for
-// geometry sweeps and one-off studies outside the fixed-config Suite.
+// geometry sweeps and one-off studies outside the fixed-config Suite. It
+// is SimulateCustomContext with a background context.
 func SimulateCustom(name string, scale float64, hc cache.HierarchyConfig, side trace.CacheID) (*interval.Distribution, cpu.Result, error) {
+	return SimulateCustomContext(context.Background(), name, scale, hc, side)
+}
+
+// SimulateCustomContext is the cancellable SimulateCustom.
+func SimulateCustomContext(ctx context.Context, name string, scale float64, hc cache.HierarchyConfig, side trace.CacheID) (*interval.Distribution, cpu.Result, error) {
 	w, err := workload.New(name, scale)
 	if err != nil {
 		return nil, cpu.Result{}, err
@@ -41,7 +48,7 @@ func SimulateCustom(name string, scale float64, hc cache.HierarchyConfig, side t
 		return nil, cpu.Result{}, err
 	}
 	var sinkErr error
-	res, err := cpu.Run(w, hier, cpu.DefaultConfig(), func(e trace.Event) {
+	res, err := cpu.RunContext(ctx, w, hier, cpu.DefaultConfig(), func(e trace.Event) {
 		if sinkErr == nil && e.Cache == side {
 			sinkErr = col.Add(e)
 		}
@@ -74,10 +81,16 @@ func GeometrySweepPoints() []GeometryPoint {
 }
 
 // GeometrySweep evaluates OPT-Hybrid and Sleep(10K) on the D-cache across
-// L1 geometries, averaged over the benchmark suite at the given scale.
+// L1 geometries, averaged over the benchmark suite at the given scale. It
+// is GeometrySweepContext with a background context.
 func GeometrySweep(scale float64) (*report.Table, error) {
+	return GeometrySweepContext(context.Background(), scale)
+}
+
+// GeometrySweepContext is the cancellable GeometrySweep.
+func GeometrySweepContext(ctx context.Context, scale float64) (*report.Table, error) {
 	if scale <= 0 {
-		return nil, fmt.Errorf("experiments: non-positive scale %g", scale)
+		return nil, fmt.Errorf("%w: %g", ErrNonPositiveScale, scale)
 	}
 	tech := power.Default()
 	t := report.NewTable("Extension: L1 D-cache geometry sweep (70nm, benchmark average)",
@@ -91,7 +104,7 @@ func GeometrySweep(scale float64) (*report.Table, error) {
 		var hySum, dcSum float64
 		var frames int
 		for _, name := range workload.Names() {
-			dist, _, err := SimulateCustom(name, scale, hc, trace.L1D)
+			dist, _, err := SimulateCustomContext(ctx, name, scale, hc, trace.L1D)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s at %dKB/%d-way: %w", name, pt.SizeKB, pt.Assoc, err)
 			}

@@ -1,0 +1,100 @@
+package experiments
+
+// The concurrent evaluation grid. Policy evaluation over a cached
+// distribution is pure CPU work with no shared state, so the sweeps behind
+// Figure 7, Figure 8 and Table 2 — each a nest of loops over
+// (technology x policy x distribution) — fan their cells out over the
+// suite's worker pool instead of evaluating them one by one.
+//
+// Determinism: EvaluateGrid writes each cell's result into the slot the
+// caller assigned it, so scheduling order never leaks into the output.
+// Callers reduce the returned slice in the exact order the sequential
+// loops used, keeping every floating-point sum bit-identical to the
+// pre-grid implementation (TestGridMatchesSequential pins this).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+	"leakbound/internal/telemetry"
+)
+
+// Cell is one (technology, policy, distribution) evaluation of the grid.
+type Cell struct {
+	Tech   power.Technology
+	Policy leakage.Policy
+	Dist   *interval.Distribution
+	// Label names the cell in errors and telemetry; optional (the index is
+	// used when empty).
+	Label string
+}
+
+// EvaluateGrid evaluates every cell concurrently over the suite's worker
+// pool (WithWorkers) and returns evaluations indexed exactly like cells:
+// out[i] is the evaluation of cells[i] regardless of completion order.
+// Cancelling ctx skips cells not yet started and returns ctx.Err(); per-cell
+// metrics land in the "grid" telemetry scope either way.
+func (s *Suite) EvaluateGrid(ctx context.Context, cells []Cell) ([]leakage.Evaluation, error) {
+	out := make([]leakage.Evaluation, len(cells))
+	sc := s.metrics.Scope("grid")
+	evaluated := sc.Counter("cells_evaluated")
+	failed := sc.Counter("cells_failed")
+	skipped := sc.Counter("cells_skipped")
+	cellNS := sc.Histogram("cell_ns")
+	pool := telemetry.NewPoolIn(s.metrics, s.poolWorkers())
+	for i := range cells {
+		i := i
+		pool.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				skipped.Add(1)
+				return err
+			}
+			start := time.Now()
+			ev, err := leakage.Evaluate(cells[i].Tech, cells[i].Dist, cells[i].Policy)
+			if err != nil {
+				failed.Add(1)
+				label := cells[i].Label
+				if label == "" {
+					label = fmt.Sprintf("#%d", i)
+				}
+				return fmt.Errorf("experiments: grid cell %s: %w", label, err)
+			}
+			out[i] = ev
+			evaluated.Add(1)
+			cellNS.Record(uint64(time.Since(start).Nanoseconds()))
+			return nil
+		})
+	}
+	err := pool.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// table2Policy builds the policy for one Table 2 scheme at one technology
+// node (OPT-Sleep's theta is that node's drowsy-sleep inflection point).
+func table2Policy(scheme string, tech power.Technology) (leakage.Policy, error) {
+	_, b, err := tech.InflectionPoints()
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "OPT-Drowsy":
+		return leakage.OPTDrowsy{}, nil
+	case "OPT-Sleep":
+		return leakage.OPTSleep{Theta: uint64(math.Round(b))}, nil
+	case "OPT-Hybrid":
+		return leakage.OPTHybrid{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+}

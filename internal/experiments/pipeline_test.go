@@ -1,0 +1,293 @@
+package experiments
+
+// Tests for the parallel pipeline: sharded collection must be
+// bit-identical to sequential collection, the evaluation grid must be
+// bit-identical to the sequential evaluation loops it replaced,
+// cancellation must be prompt and leak-free, and the singleflight gate
+// must collapse concurrent simulations of one benchmark into one run.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+	"leakbound/internal/telemetry"
+)
+
+// TestShardedSuiteMatchesSequential pins the tentpole invariant end to
+// end: a suite collecting with 4 shards per cache produces byte-identical
+// distributions and identical simulation results to a 1-worker
+// (inline, sequential) suite.
+func TestShardedSuiteMatchesSequential(t *testing.T) {
+	seq := MustNew(WithScale(0.05), WithWorkers(1), WithMetrics(telemetry.NewRegistry()))
+	par := MustNew(WithScale(0.05), WithWorkers(4), WithMetrics(telemetry.NewRegistry()))
+	for _, name := range []string{"gzip", "vortex"} {
+		sd, err := seq.Data(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd, err := par.Data(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sd.Result != pd.Result {
+			t.Errorf("%s: results differ: %+v vs %+v", name, sd.Result, pd.Result)
+		}
+		if !sd.ICache.Equal(pd.ICache) {
+			t.Errorf("%s: I-cache distributions differ between 1 and 4 shards", name)
+		}
+		if !sd.DCache.Equal(pd.DCache) {
+			t.Errorf("%s: D-cache distributions differ between 1 and 4 shards", name)
+		}
+		if !sd.L2Cache.Equal(pd.L2Cache) {
+			t.Errorf("%s: L2 distributions differ between 1 and 4 shards", name)
+		}
+		if sd.IEngine != pd.IEngine || sd.DEngine != pd.DEngine {
+			t.Errorf("%s: prefetch engine stats differ between shard counts", name)
+		}
+		// Conservation must hold on the sharded output too.
+		if pd.ICache.Mass() != uint64(pd.ICache.NumFrames)*pd.Result.Cycles {
+			t.Errorf("%s: sharded I-cache violates mass conservation", name)
+		}
+	}
+}
+
+// TestGridMatchesSequential is the golden check for the evaluation grid:
+// Figure 7, Figure 8 and Table 2 values computed through EvaluateGrid must
+// equal — bit for bit, not approximately — a sequential re-evaluation in
+// the original loop order.
+func TestGridMatchesSequential(t *testing.T) {
+	s := testSuiteShared
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := power.Default()
+
+	// Figure 8, I-cache side.
+	rows, err := Figure8(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := Figure8Policies()
+	wantAvg := make([]float64, len(policies))
+	for r, bd := range all {
+		for i, p := range policies {
+			ev, err := leakage.Evaluate(tech, bd.ICache, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows[r].Savings[i] != ev.Savings {
+				t.Fatalf("fig8 %s/%s: grid %v != sequential %v",
+					bd.Name, p.Name(), rows[r].Savings[i], ev.Savings)
+			}
+			wantAvg[i] += ev.Savings / float64(len(all))
+		}
+	}
+	for i := range policies {
+		if rows[len(rows)-1].Savings[i] != wantAvg[i] {
+			t.Fatalf("fig8 average[%d]: grid %v != sequential %v",
+				i, rows[len(rows)-1].Savings[i], wantAvg[i])
+		}
+	}
+
+	// Figure 7, D-cache side: the per-theta averages must match the
+	// sequential accumulation order exactly.
+	sleep, hybrid, err := Figure7(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, theta := range Figure7Thetas() {
+		var sSum, hSum float64
+		for _, bd := range all {
+			sEv, err := leakage.Evaluate(tech, bd.DCache, leakage.OPTSleep{Theta: theta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hEv, err := leakage.Evaluate(tech, bd.DCache, leakage.OPTHybrid{SleepTheta: theta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sSum += sEv.Savings
+			hSum += hEv.Savings
+		}
+		n := float64(len(all))
+		if sleep.Y[ti] != sSum/n || hybrid.Y[ti] != hSum/n {
+			t.Fatalf("fig7 theta=%d: grid (%v, %v) != sequential (%v, %v)",
+				theta, sleep.Y[ti], hybrid.Y[ti], sSum/n, hSum/n)
+		}
+	}
+
+	// One Table 2 cell per scheme.
+	for _, scheme := range []string{"OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"} {
+		got, err := Table2Value(s, scheme, false, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := table2Policy(scheme, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, bd := range all {
+			ev, err := leakage.Evaluate(tech, bd.DCache, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += ev.Savings
+		}
+		if want := sum / float64(len(all)); got != want {
+			t.Fatalf("table2 %s: grid %v != sequential %v", scheme, got, want)
+		}
+	}
+}
+
+// TestAllContextCancelNoLeak cancels a suite-wide simulation mid-flight:
+// AllContext must return ctx.Err() promptly, and every pipeline goroutine
+// (pool workers, shard workers) must drain afterwards.
+func TestAllContextCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := telemetry.NewRegistry()
+	s := MustNew(WithScale(0.5), WithWorkers(4), WithMetrics(reg))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.AllContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	// All pipeline goroutines must exit; poll because worker teardown
+	// finishes just after AllContext returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A subsequent call on a fresh context must still work (the failed
+	// singleflight entries must not wedge the suite).
+	if _, err := s.DataContext(context.Background(), "gzip"); err != nil {
+		t.Fatalf("suite unusable after cancellation: %v", err)
+	}
+}
+
+// TestDataSingleflight pins the Data race fix: many concurrent requests
+// for one benchmark must run exactly one simulation.
+func TestDataSingleflight(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := MustNew(WithScale(0.02), WithMetrics(reg))
+	const callers = 8
+	results := make([]*BenchmarkData, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = s.DataContext(context.Background(), "gzip")
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different *BenchmarkData — duplicate simulation", i)
+		}
+	}
+	if got := reg.Scope("suite").Counter("fresh_sims").Value(); got != 1 {
+		t.Fatalf("fresh_sims = %d, want 1 (singleflight collapsed %d callers)", got, callers)
+	}
+}
+
+// TestWaiterCancellationDoesNotPoison verifies one caller's context does
+// not decide another's fate: a waiter with a cancelled context gets
+// context.Canceled while the patient caller still gets data.
+func TestWaiterCancellationDoesNotPoison(t *testing.T) {
+	s := MustNew(WithScale(0.05), WithMetrics(telemetry.NewRegistry()))
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.DataContext(context.Background(), "vortex")
+		leaderDone <- err
+	}()
+	// Give the leader a head start, then join as a waiter with an
+	// already-cancelled context.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DataContext(ctx, "vortex"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader poisoned by waiter's cancellation: %v", err)
+	}
+}
+
+// TestOptionsValidation exercises the functional options API and its
+// sentinel errors.
+func TestOptionsValidation(t *testing.T) {
+	if _, err := New(WithScale(0)); !errors.Is(err, ErrNonPositiveScale) {
+		t.Errorf("WithScale(0): got %v, want ErrNonPositiveScale", err)
+	}
+	if _, err := New(WithScale(-3)); !errors.Is(err, ErrNonPositiveScale) {
+		t.Errorf("WithScale(-3): got %v, want ErrNonPositiveScale", err)
+	}
+	if _, err := New(nil); !errors.Is(err, ErrBadOption) {
+		t.Errorf("nil option: got %v, want ErrBadOption", err)
+	}
+	if _, err := New(WithMetrics(nil)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("WithMetrics(nil): got %v, want ErrBadOption", err)
+	}
+	// The deprecated constructors stay behaviourally identical.
+	if _, err := NewSuite(0); !errors.Is(err, ErrNonPositiveScale) {
+		t.Errorf("NewSuite(0): got %v, want ErrNonPositiveScale", err)
+	}
+	s, err := New(WithScale(0.5), WithWorkers(3), WithCacheDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scale() != 0.5 {
+		t.Errorf("scale = %g, want 0.5", s.Scale())
+	}
+	if s.poolWorkers() != 3 {
+		t.Errorf("poolWorkers = %d, want 3", s.poolWorkers())
+	}
+	if def := MustNew(); def.poolWorkers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default poolWorkers = %d, want GOMAXPROCS", def.poolWorkers())
+	}
+	if _, err := Table2Value(testSuiteShared, "OPT-Bogus", true, power.Default()); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("unknown scheme: got %v, want ErrUnknownScheme", err)
+	}
+}
+
+// TestEvaluateGridErrors verifies grid failures carry the underlying
+// sentinel and the cell label.
+func TestEvaluateGridErrors(t *testing.T) {
+	s := MustNew(WithMetrics(telemetry.NewRegistry()))
+	cells := []Cell{{Tech: power.Default(), Policy: leakage.OPTDrowsy{}, Dist: nil, Label: "bad/cell"}}
+	_, err := s.EvaluateGrid(context.Background(), cells)
+	if !errors.Is(err, leakage.ErrNilDistribution) {
+		t.Fatalf("got %v, want leakage.ErrNilDistribution", err)
+	}
+	if !strings.Contains(err.Error(), "bad/cell") {
+		t.Fatalf("error %q does not name the failing cell", err)
+	}
+}

@@ -10,9 +10,19 @@
 // distributions; every experiment then evaluates policies over those
 // distributions, exactly as the limit study separates trace collection from
 // policy analysis.
+//
+// The pipeline is parallel at two levels, both governed by WithWorkers:
+// benchmarks fan out across a bounded pool (AllContext), and within one
+// benchmark the interval collection is sharded by cache frame across SPSC
+// queues (interval.ShardedCollector). Parallel results are bit-identical
+// to the sequential path, so shard and worker counts are pure performance
+// knobs. Long sweeps are cancellable: every entry point has a
+// ...Context variant that returns ctx.Err() promptly, flushing partial
+// telemetry on the way out.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,13 +59,27 @@ type BenchmarkData struct {
 }
 
 // Suite lazily simulates benchmarks at a fixed scale and caches results.
-// It is safe for concurrent use.
+// It is safe for concurrent use; concurrent requests for the same
+// benchmark are deduplicated (singleflight), so a benchmark simulates at
+// most once per suite no matter how many experiments race for it.
+// Construct with New (see options.go).
 type Suite struct {
-	scale float64
+	scale   float64
+	workers int
+	metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	data     map[string]*BenchmarkData
+	inflight map[string]*inflightSim
 	cacheDir string // optional on-disk cache (see diskcache.go)
+}
+
+// inflightSim is the per-benchmark singleflight gate: the leader closes
+// done after publishing d/err, and waiters read them only after <-done.
+type inflightSim struct {
+	done chan struct{}
+	d    *BenchmarkData
+	err  error
 }
 
 // DefaultScale is the workload scale used by the experiment binaries: the
@@ -64,73 +88,114 @@ type Suite struct {
 // of 103084 cycles).
 const DefaultScale = 1.0
 
-// NewSuite creates a suite; scale stretches benchmark lengths (1.0 = the
-// study length, smaller for tests).
-func NewSuite(scale float64) (*Suite, error) {
-	if scale <= 0 {
-		return nil, fmt.Errorf("experiments: non-positive scale %g", scale)
-	}
-	return &Suite{scale: scale, data: make(map[string]*BenchmarkData)}, nil
-}
-
-// MustNewSuite is NewSuite that panics on bad input.
-func MustNewSuite(scale float64) *Suite {
-	s, err := NewSuite(scale)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Scale returns the suite's workload scale.
 func (s *Suite) Scale() float64 { return s.scale }
 
 // Data returns the simulation products for one benchmark, simulating on
-// first use.
+// first use. It is DataContext with a background context.
 func (s *Suite) Data(name string) (*BenchmarkData, error) {
-	s.mu.Lock()
-	if d, ok := s.data[name]; ok {
-		s.mu.Unlock()
-		return d, nil
-	}
-	s.mu.Unlock()
+	return s.DataContext(context.Background(), name)
+}
 
-	d := s.loadCached(name)
-	if d == nil {
-		start := time.Now()
-		var err error
-		d, err = simulate(name, s.scale)
-		if err != nil {
+// DataContext returns the simulation products for one benchmark,
+// simulating on first use. Concurrent callers for the same benchmark
+// share one simulation: the first caller (the leader) simulates while the
+// rest wait on its result — or on their own ctx, whichever finishes
+// first. If the leader fails, waiters retry rather than inheriting an
+// error that may belong to the leader's cancelled context.
+func (s *Suite) DataContext(ctx context.Context, name string) (*BenchmarkData, error) {
+	for {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start)
-		sc := telemetry.Default().Scope("suite")
-		sc.Counter("fresh_sims").Add(1)
-		sc.Gauge("sim_ms/" + name).Set(elapsed.Milliseconds())
-		sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
-		sc.Histogram("sim_ns").Record(uint64(elapsed.Nanoseconds()))
-		s.storeCached(d)
+		s.mu.Lock()
+		if d, ok := s.data[name]; ok {
+			s.mu.Unlock()
+			return d, nil
+		}
+		if c, ok := s.inflight[name]; ok {
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return c.d, nil
+				}
+				// Leader failed — maybe its own context was cancelled.
+				// Loop: a deterministic failure will fail again under this
+				// caller's leadership; a leader-only cancellation must not
+				// poison everyone else.
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := &inflightSim{done: make(chan struct{})}
+		s.inflight[name] = c
+		s.mu.Unlock()
+
+		d, err := s.produce(ctx, name)
+		s.mu.Lock()
+		delete(s.inflight, name)
+		if err == nil {
+			s.data[name] = d
+		}
+		s.mu.Unlock()
+		c.d, c.err = d, err
+		close(c.done)
+		return d, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.data[name]; ok {
-		return prev, nil // another goroutine won the race; results are identical
+}
+
+// produce loads one benchmark from the disk cache or simulates it; called
+// only by a singleflight leader, so it never runs twice concurrently for
+// the same name.
+func (s *Suite) produce(ctx context.Context, name string) (*BenchmarkData, error) {
+	if d := s.loadCached(name); d != nil {
+		return d, nil
 	}
-	s.data[name] = d
+	start := time.Now()
+	sc := s.metrics.Scope("suite")
+	d, err := simulate(ctx, name, s.scale, s.poolWorkers())
+	if err != nil {
+		if ctx.Err() != nil {
+			// Partial-telemetry flush on cancellation: the abandoned work
+			// still shows up in the snapshot.
+			sc.Counter("sims_cancelled").Add(1)
+			sc.Gauge("cancelled_after_ms/" + name).Set(time.Since(start).Milliseconds())
+		}
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	sc.Counter("fresh_sims").Add(1)
+	sc.Gauge("sim_ms/" + name).Set(elapsed.Milliseconds())
+	sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
+	sc.Histogram("sim_ns").Record(uint64(elapsed.Nanoseconds()))
+	s.storeCached(d)
 	return d, nil
 }
 
-// All simulates every benchmark in parallel — through a bounded,
-// metric-instrumented worker pool (GOMAXPROCS workers), never an
-// unbounded goroutine fan-out — and returns them in presentation order.
+// All simulates every benchmark in parallel and returns them in
+// presentation order. It is AllContext with a background context.
 func (s *Suite) All() ([]*BenchmarkData, error) {
+	return s.AllContext(context.Background())
+}
+
+// AllContext simulates every benchmark in parallel — through a bounded,
+// metric-instrumented worker pool (WithWorkers, default GOMAXPROCS),
+// never an unbounded goroutine fan-out — and returns them in presentation
+// order. Cancelling ctx aborts in-flight simulations at their next
+// cancellation check, skips queued ones, and returns ctx.Err().
+func (s *Suite) AllContext(ctx context.Context) ([]*BenchmarkData, error) {
 	names := workload.Names()
 	out := make([]*BenchmarkData, len(names))
-	pool := telemetry.NewPool(0)
+	pool := telemetry.NewPoolIn(s.metrics, s.poolWorkers())
 	for i, name := range names {
 		i, name := i, name
 		pool.Go(func() error {
-			d, err := s.Data(name)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			d, err := s.DataContext(ctx, name)
 			if err != nil {
 				return fmt.Errorf("experiments: %s: %w", name, err)
 			}
@@ -138,15 +203,21 @@ func (s *Suite) All() ([]*BenchmarkData, error) {
 			return nil
 		})
 	}
-	if err := pool.Wait(); err != nil {
+	err := pool.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// simulate runs one benchmark through the paper's machine configuration and
-// collects flagged interval distributions for both L1 caches.
-func simulate(name string, scale float64) (*BenchmarkData, error) {
+// simulate runs one benchmark through the paper's machine configuration
+// and collects flagged interval distributions for all three caches, with
+// the per-cache collection sharded across `shards` workers (1 = in-line
+// sequential collection; the output is bit-identical either way).
+func simulate(ctx context.Context, name string, scale float64, shards int) (*BenchmarkData, error) {
 	w, err := workload.New(name, scale)
 	if err != nil {
 		return nil, err
@@ -163,18 +234,21 @@ func simulate(name string, scale float64) (*BenchmarkData, error) {
 	if err != nil {
 		return nil, err
 	}
-	iCol, err := interval.NewCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass)
+	iCol, err := interval.NewShardedCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass, shards)
 	if err != nil {
 		return nil, err
 	}
-	dCol, err := interval.NewCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass)
+	defer iCol.Close()
+	dCol, err := interval.NewShardedCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass, shards)
 	if err != nil {
 		return nil, err
 	}
-	l2Col, err := interval.NewCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil)
+	defer dCol.Close()
+	l2Col, err := interval.NewShardedCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil, shards)
 	if err != nil {
 		return nil, err
 	}
+	defer l2Col.Close()
 	iEng, err := prefetch.NewEngine(prefetch.DefaultEngineConfig(prefetch.ForICache()))
 	if err != nil {
 		return nil, err
@@ -183,12 +257,14 @@ func simulate(name string, scale float64) (*BenchmarkData, error) {
 	if err != nil {
 		return nil, err
 	}
-	// sinkErr needs no synchronization: cpu.Run's documented contract is
-	// that the sink runs synchronously on this goroutine and never after
-	// Run returns (each Suite simulation owns its own collectors/engines;
-	// TestSuiteAllConcurrentRace exercises this under -race).
+	// sinkErr needs no synchronization: cpu.RunContext's documented
+	// contract is that the sink runs synchronously on this goroutine and
+	// never after it returns. The sharded collectors' Add is likewise a
+	// producer-side call; only their internal shard workers run elsewhere.
+	// On cancellation the deferred Close calls release those workers and
+	// flush partial telemetry (TestAllContextCancelNoLeak exercises this).
 	var sinkErr error
-	res, err := cpu.Run(w, hier, cpu.DefaultConfig(), func(e trace.Event) {
+	res, err := cpu.RunContext(ctx, w, hier, cpu.DefaultConfig(), func(e trace.Event) {
 		if sinkErr != nil {
 			return
 		}
@@ -229,9 +305,15 @@ func simulate(name string, scale float64) (*BenchmarkData, error) {
 }
 
 // MergedDistributions returns suite-wide merged I- and D-cache
-// distributions (used by Figure 9's aggregate prefetchability).
+// distributions (used by Figure 9's aggregate prefetchability). It is
+// MergedDistributionsContext with a background context.
 func (s *Suite) MergedDistributions() (iDist, dDist *interval.Distribution, err error) {
-	all, err := s.All()
+	return s.MergedDistributionsContext(context.Background())
+}
+
+// MergedDistributionsContext is the cancellable MergedDistributions.
+func (s *Suite) MergedDistributionsContext(ctx context.Context) (iDist, dDist *interval.Distribution, err error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -260,8 +342,3 @@ func (s *Suite) SortedNames() []string {
 	sort.Strings(names)
 	return names
 }
-
-// cacheAlphaLike and traceL1D re-export fixed values for tests in this
-// package without extra imports in every file.
-func cacheAlphaLike() cache.HierarchyConfig { return cache.AlphaLike() }
-func traceL1D() trace.CacheID               { return trace.L1D }

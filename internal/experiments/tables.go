@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"leakbound/internal/leakage"
 	"leakbound/internal/power"
 	"leakbound/internal/report"
 )
@@ -64,9 +64,18 @@ func Table1() (*report.Table, error) {
 // Table2 reproduces the technology-scaling study: the average (over all
 // benchmarks) optimal savings of OPT-Drowsy, OPT-Sleep (theta = the
 // inflection point b) and OPT-Hybrid, for both caches, at each process
-// node. The rows also carry Vdd and Vth as the paper's table does.
+// node. The rows also carry Vdd and Vth as the paper's table does. It is
+// Table2Context with a background context.
 func Table2(s *Suite) (*report.Table, error) {
-	all, err := s.All()
+	return Table2Context(context.Background(), s)
+}
+
+// Table2Context is the cancellable Table2. The full
+// (cache x scheme x technology x benchmark) nest evaluates concurrently
+// on the suite's grid; cell averages are reduced in the sequential loop
+// order, bit-identical to a sequential evaluation.
+func Table2Context(ctx context.Context, s *Suite) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -85,34 +94,40 @@ func Table2(s *Suite) (*report.Table, error) {
 	t.MustAddRow(vddRow...)
 	t.MustAddRow(vthRow...)
 
-	for _, cacheSide := range []string{"I-Cache", "D-Cache"} {
-		for _, scheme := range []string{"OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"} {
-			row := []string{cacheSide, scheme + " (%)"}
+	sides := []string{"I-Cache", "D-Cache"}
+	schemes := []string{"OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"}
+	cells := make([]Cell, 0, len(sides)*len(schemes)*len(techs)*len(all))
+	for _, cacheSide := range sides {
+		for _, scheme := range schemes {
 			for _, tech := range techs {
-				_, b, err := tech.InflectionPoints()
+				pol, err := table2Policy(scheme, tech)
 				if err != nil {
 					return nil, err
 				}
-				var pol leakage.Policy
-				switch scheme {
-				case "OPT-Drowsy":
-					pol = leakage.OPTDrowsy{}
-				case "OPT-Sleep":
-					pol = leakage.OPTSleep{Theta: uint64(math.Round(b))}
-				default:
-					pol = leakage.OPTHybrid{}
-				}
-				var sum float64
 				for _, bd := range all {
 					dist := bd.ICache
 					if cacheSide == "D-Cache" {
 						dist = bd.DCache
 					}
-					ev, err := leakage.Evaluate(tech, dist, pol)
-					if err != nil {
-						return nil, err
-					}
-					sum += ev.Savings
+					cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
+						Label: fmt.Sprintf("table2/%s/%s/%s/%s", cacheSide, scheme, tech.Name, bd.Name)})
+				}
+			}
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, cacheSide := range sides {
+		for _, scheme := range schemes {
+			row := []string{cacheSide, scheme + " (%)"}
+			for range techs {
+				var sum float64
+				for range all {
+					sum += evs[k].Savings
+					k++
 				}
 				row = append(row, fmt.Sprintf("%.1f", 100*sum/float64(len(all))))
 			}
@@ -125,36 +140,37 @@ func Table2(s *Suite) (*report.Table, error) {
 // Table2Value computes one cell of Table 2 programmatically: the average
 // savings for a scheme/cache/technology triple. Scheme is one of
 // "OPT-Drowsy", "OPT-Sleep", "OPT-Hybrid"; iCache selects the cache side.
+// It is Table2ValueContext with a background context.
 func Table2Value(s *Suite, scheme string, iCache bool, tech power.Technology) (float64, error) {
-	all, err := s.All()
+	return Table2ValueContext(context.Background(), s, scheme, iCache, tech)
+}
+
+// Table2ValueContext is the cancellable Table2Value. Unknown schemes
+// report ErrUnknownScheme.
+func Table2ValueContext(ctx context.Context, s *Suite, scheme string, iCache bool, tech power.Technology) (float64, error) {
+	all, err := s.AllContext(ctx)
 	if err != nil {
 		return 0, err
 	}
-	_, b, err := tech.InflectionPoints()
+	pol, err := table2Policy(scheme, tech)
 	if err != nil {
 		return 0, err
 	}
-	var pol leakage.Policy
-	switch scheme {
-	case "OPT-Drowsy":
-		pol = leakage.OPTDrowsy{}
-	case "OPT-Sleep":
-		pol = leakage.OPTSleep{Theta: uint64(math.Round(b))}
-	case "OPT-Hybrid":
-		pol = leakage.OPTHybrid{}
-	default:
-		return 0, fmt.Errorf("experiments: unknown Table 2 scheme %q", scheme)
-	}
-	var sum float64
+	cells := make([]Cell, 0, len(all))
 	for _, bd := range all {
 		dist := bd.ICache
 		if !iCache {
 			dist = bd.DCache
 		}
-		ev, err := leakage.Evaluate(tech, dist, pol)
-		if err != nil {
-			return 0, err
-		}
+		cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
+			Label: fmt.Sprintf("table2/%s/%s/%s", scheme, tech.Name, bd.Name)})
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, ev := range evs {
 		sum += ev.Savings
 	}
 	return sum / float64(len(all)), nil

@@ -191,13 +191,16 @@ func (d *Distribution) Each(fn func(length uint64, flags Flags, count uint64) bo
 	}
 }
 
-// Merge folds other into d. Frame counts add (union of disjoint caches is
-// not meaningful, so Merge is intended for same-shape runs, e.g. averaging
-// benchmarks); time horizons must match for mass bookkeeping to stay
-// interpretable, and an error is returned when they differ.
+// Merge folds other into d. Frame counts add — the operands are treated as
+// disjoint frame populations observed over the same run, which covers both
+// uses: recombining per-shard distributions from a ShardedCollector
+// (bit-identical to the unsharded result, since bucket counts, interval
+// counts and mass are all additive) and aggregating benchmarks for
+// suite-wide views. Time horizons are maxed so the conservation invariant
+// (Mass == NumFrames x TotalCycles) survives merging same-horizon shards.
 func (d *Distribution) Merge(other *Distribution) error {
 	if other == nil {
-		return errors.New("interval: merge with nil distribution")
+		return fmt.Errorf("%w: merge operand", ErrNilDistribution)
 	}
 	d.NumFrames += other.NumFrames
 	if d.TotalCycles < other.TotalCycles {
@@ -283,17 +286,26 @@ func NewCollector(cacheID trace.CacheID, numFrames uint32, classifier Classifier
 // simulator sink can fan out to several collectors. Events must arrive in
 // non-decreasing cycle order.
 func (c *Collector) Add(e trace.Event) error {
+	return c.add(e, 0, true)
+}
+
+// add is the collection core. When classify is true the collector's own
+// classifier computes the prefetch flags in stream order; when false the
+// caller supplies them in pre (the sharded path classifies on the producer
+// side, where global stream order is still visible, and ships the flags
+// with the event).
+func (c *Collector) add(e trace.Event, pre Flags, classify bool) error {
 	if c.finished {
-		return errors.New("interval: Add after Finish")
+		return fmt.Errorf("%w: Add after Finish", ErrFinished)
 	}
 	if e.Cache != c.cache {
 		return nil
 	}
 	if e.Frame >= c.numFrames {
-		return fmt.Errorf("interval: frame %d out of range (have %d)", e.Frame, c.numFrames)
+		return fmt.Errorf("%w: frame %d (have %d)", ErrFrameRange, e.Frame, c.numFrames)
 	}
 	if e.Cycle < c.lastCycle {
-		return fmt.Errorf("interval: event cycle %d before %d", e.Cycle, c.lastCycle)
+		return fmt.Errorf("%w: cycle %d before %d", ErrOutOfOrder, e.Cycle, c.lastCycle)
 	}
 	c.lastCycle = e.Cycle
 	c.events++
@@ -309,8 +321,8 @@ func (c *Collector) Add(e trace.Event) error {
 		start := prev - 1
 		length := e.Cycle - start
 		if length > 0 {
-			var flags Flags
-			if c.classifier != nil {
+			flags := pre & (NLPrefetchable | StridePrefetchable)
+			if classify && c.classifier != nil {
 				flags = c.classifier.Classify(e, start) & (NLPrefetchable | StridePrefetchable)
 			}
 			if c.dirty[e.Frame] {
@@ -324,7 +336,7 @@ func (c *Collector) Add(e trace.Event) error {
 			c.dist.Add(length, flags, 1)
 		}
 	}
-	if c.classifier != nil {
+	if classify && c.classifier != nil {
 		c.classifier.Observe(e)
 	}
 	c.lastAccess[e.Frame] = e.Cycle + 1
@@ -345,10 +357,10 @@ func (c *Collector) Add(e trace.Event) error {
 // distribution. totalCycles must be at least the cycle of the last event.
 func (c *Collector) Finish(totalCycles uint64) (*Distribution, error) {
 	if c.finished {
-		return nil, errors.New("interval: Finish called twice")
+		return nil, fmt.Errorf("%w: Finish called twice", ErrFinished)
 	}
 	if totalCycles < c.lastCycle {
-		return nil, fmt.Errorf("interval: horizon %d before last event %d", totalCycles, c.lastCycle)
+		return nil, fmt.Errorf("%w: horizon %d, last event %d", ErrHorizon, totalCycles, c.lastCycle)
 	}
 	c.finished = true
 	c.dist.TotalCycles = totalCycles

@@ -1,0 +1,259 @@
+package interval
+
+// Sharded collection: the per-frame independence of interval extraction
+// (the appendix's lower-envelope argument treats intervals independently)
+// means a cache's frames can be partitioned across workers. The producer —
+// cpu.Run's sink goroutine — keeps everything that genuinely needs global
+// stream order (cycle monotonicity checks and prefetch classification) and
+// routes each event, with its already-computed prefetch flags, to the shard
+// owning its frame over a single-producer/single-consumer queue. Shards
+// own disjoint frame sets, so they never share mutable state; their
+// per-shard distributions recombine with Distribution.Merge into a result
+// bit-identical to the sequential Collector, preserving the conservation
+// invariant (summed lengths == frames x cycles).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/telemetry"
+)
+
+// shardBatchSize amortizes channel operations: the producer ships events
+// to a shard in batches of this many.
+const shardBatchSize = 256
+
+// shardQueueDepth bounds each SPSC queue to a few in-flight batches; the
+// producer blocks (back-pressure) rather than buffering unboundedly.
+const shardQueueDepth = 8
+
+// shardEvent is one routed event: the trace event with its frame remapped
+// to the shard-local index, plus the producer-computed prefetch flags.
+type shardEvent struct {
+	e   trace.Event
+	pre Flags
+}
+
+// ShardedCollector is a drop-in parallel replacement for Collector: same
+// Add/Finish contract on the producer side, with collection fanned out
+// over shard workers. With one shard it degenerates to a synchronous
+// in-line collector (no goroutines, no queues), so callers can size it
+// with GOMAXPROCS unconditionally.
+//
+// Add and Finish must be called from a single goroutine, exactly like
+// Collector — cpu.Run's sink contract already guarantees that. Close
+// releases the shard workers without producing a distribution; it is the
+// cancellation path and is safe to call at any point, including after
+// Finish (where it is a no-op).
+type ShardedCollector struct {
+	cache      trace.CacheID
+	numFrames  uint32
+	classifier Classifier
+
+	// lastAccess mirrors, on the producer side, each frame's previous
+	// access cycle (+1; 0 = never) — needed only to call Classify with the
+	// same interval start the sequential collector would.
+	lastAccess []uint64
+
+	shards  []*Collector
+	queues  []chan []shardEvent
+	pending [][]shardEvent
+	workers sync.WaitGroup
+	// errs[i] is written only by shard worker i before workers.Done and
+	// read only after workers.Wait, so it needs no lock.
+	errs []error
+
+	lastCycle uint64
+	events    uint64
+	closed    bool
+	finished  bool
+}
+
+// NewShardedCollector creates a collector for the given cache whose
+// numFrames physical lines are partitioned round-robin (frame mod shards)
+// across the given number of shard workers. classifier may be nil; when
+// present it runs on the producer goroutine in global stream order, so
+// sharding never changes the flags an interval receives. shards is clamped
+// to [1, numFrames].
+func NewShardedCollector(cacheID trace.CacheID, numFrames uint32, classifier Classifier, shards int) (*ShardedCollector, error) {
+	if !cacheID.Valid() {
+		return nil, fmt.Errorf("interval: invalid cache id %d", cacheID)
+	}
+	if numFrames == 0 {
+		return nil, errors.New("interval: zero frames")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if uint32(shards) > numFrames {
+		shards = int(numFrames)
+	}
+	sc := &ShardedCollector{
+		cache:      cacheID,
+		numFrames:  numFrames,
+		classifier: classifier,
+		lastAccess: make([]uint64, numFrames),
+		shards:     make([]*Collector, shards),
+		errs:       make([]error, shards),
+	}
+	n := uint32(shards)
+	for i := range sc.shards {
+		// Shard i owns global frames {i, i+n, i+2n, ...}; the local frame
+		// index is frame/n. Local frame count = |{g < numFrames : g%n == i}|.
+		local := (numFrames - uint32(i) + n - 1) / n
+		col, err := NewCollector(cacheID, local, nil)
+		if err != nil {
+			return nil, err
+		}
+		sc.shards[i] = col
+	}
+	if shards > 1 {
+		sc.queues = make([]chan []shardEvent, shards)
+		sc.pending = make([][]shardEvent, shards)
+		for i := range sc.queues {
+			sc.queues[i] = make(chan []shardEvent, shardQueueDepth)
+			sc.pending[i] = make([]shardEvent, 0, shardBatchSize)
+		}
+		sc.workers.Add(shards)
+		for i := range sc.queues {
+			go sc.worker(i)
+		}
+		telemetry.Default().Scope("interval").Counter("shard_workers_started").Add(uint64(shards))
+	}
+	return sc, nil
+}
+
+// Shards returns the number of shard workers (1 means in-line collection).
+func (sc *ShardedCollector) Shards() int { return len(sc.shards) }
+
+// worker drains shard i's queue. After the first error the worker keeps
+// draining (so the producer never blocks) but stops collecting.
+func (sc *ShardedCollector) worker(i int) {
+	defer sc.workers.Done()
+	col := sc.shards[i]
+	for batch := range sc.queues[i] {
+		if sc.errs[i] != nil {
+			continue
+		}
+		for _, ev := range batch {
+			if err := col.add(ev.e, ev.pre, false); err != nil {
+				sc.errs[i] = err
+				break
+			}
+		}
+	}
+}
+
+// Add consumes one event on the producer goroutine: order and range checks,
+// classification in stream order, then routing to the owning shard. Events
+// for other caches are ignored, exactly like Collector.Add.
+func (sc *ShardedCollector) Add(e trace.Event) error {
+	if sc.closed {
+		return fmt.Errorf("%w: Add after Finish", ErrFinished)
+	}
+	if e.Cache != sc.cache {
+		return nil
+	}
+	if e.Frame >= sc.numFrames {
+		return fmt.Errorf("%w: frame %d (have %d)", ErrFrameRange, e.Frame, sc.numFrames)
+	}
+	if e.Cycle < sc.lastCycle {
+		return fmt.Errorf("%w: cycle %d before %d", ErrOutOfOrder, e.Cycle, sc.lastCycle)
+	}
+	sc.lastCycle = e.Cycle
+	sc.events++
+
+	// Classification must see the exact (event, interval-start) pairs and
+	// Observe order the sequential collector would produce.
+	var pre Flags
+	if sc.classifier != nil {
+		if prev := sc.lastAccess[e.Frame]; prev != 0 && e.Cycle > prev-1 {
+			pre = sc.classifier.Classify(e, prev-1) & (NLPrefetchable | StridePrefetchable)
+		}
+		sc.classifier.Observe(e)
+	}
+	sc.lastAccess[e.Frame] = e.Cycle + 1
+
+	n := uint32(len(sc.shards))
+	if n == 1 {
+		return sc.shards[0].add(e, pre, false)
+	}
+	si := e.Frame % n
+	le := e
+	le.Frame = e.Frame / n
+	sc.pending[si] = append(sc.pending[si], shardEvent{e: le, pre: pre})
+	if len(sc.pending[si]) >= shardBatchSize {
+		sc.queues[si] <- sc.pending[si]
+		sc.pending[si] = make([]shardEvent, 0, shardBatchSize)
+	}
+	return nil
+}
+
+// drain flushes pending batches, closes the queues and joins the workers.
+// Idempotent; a no-op for the single-shard in-line configuration.
+func (sc *ShardedCollector) drain() {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	for i := range sc.queues {
+		if len(sc.pending[i]) > 0 {
+			sc.queues[i] <- sc.pending[i]
+			sc.pending[i] = nil
+		}
+		close(sc.queues[i])
+	}
+	sc.workers.Wait()
+}
+
+// Close tears the collector down without producing a distribution — the
+// cancellation path. It flushes the partial event count to telemetry so an
+// aborted run still leaves an audit trail, and releases every shard
+// worker. Safe to call multiple times and after Finish.
+func (sc *ShardedCollector) Close() {
+	if sc.finished {
+		return
+	}
+	wasClosed := sc.closed
+	sc.drain()
+	if !wasClosed {
+		scope := telemetry.Default().Scope("interval")
+		scope.Counter("collectors_aborted").Add(1)
+		scope.Counter("events_discarded").Add(sc.events)
+	}
+}
+
+// Finish closes all trailing gaps at the simulation horizon on every shard
+// and merges the per-shard distributions. The merged result is
+// bit-identical to what a sequential Collector over the same stream
+// produces (same buckets, same NumFrames, same TotalCycles), so callers
+// can switch shard counts freely without perturbing any downstream number.
+func (sc *ShardedCollector) Finish(totalCycles uint64) (*Distribution, error) {
+	if sc.finished {
+		return nil, fmt.Errorf("%w: Finish called twice", ErrFinished)
+	}
+	if totalCycles < sc.lastCycle {
+		return nil, fmt.Errorf("%w: horizon %d, last event %d", ErrHorizon, totalCycles, sc.lastCycle)
+	}
+	sc.drain()
+	sc.finished = true
+	for i, err := range sc.errs {
+		if err != nil {
+			return nil, fmt.Errorf("interval: shard %d: %w", i, err)
+		}
+	}
+	merged := NewDistribution(0, totalCycles)
+	for _, col := range sc.shards {
+		d, err := col.Finish(totalCycles)
+		if err != nil {
+			return nil, err
+		}
+		if err := merged.Merge(d); err != nil {
+			return nil, err
+		}
+	}
+	telemetry.Default().Scope("interval").Counter("sharded_finished").Add(1)
+	return merged, nil
+}

@@ -1,0 +1,277 @@
+package interval_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/sim/trace"
+)
+
+// randomStream builds a valid (non-decreasing cycle) event stream for one
+// cache from a seeded RNG, plus the horizon that closes it.
+func randomStream(rng *rand.Rand, numFrames uint32, n int) ([]trace.Event, uint64) {
+	events := make([]trace.Event, 0, n)
+	var cycle uint64
+	for i := 0; i < n; i++ {
+		cycle += uint64(rng.Intn(50)) // may stay equal: superscalar same-cycle accesses
+		events = append(events, trace.Event{
+			Cycle:    cycle,
+			LineAddr: uint64(rng.Intn(64)),
+			Frame:    uint32(rng.Intn(int(numFrames))),
+			PC:       uint64(rng.Intn(32)) * 4,
+			Cache:    trace.L1D,
+			Kind:     trace.Kind(rng.Intn(3)),
+			Miss:     rng.Intn(4) == 0,
+		})
+	}
+	return events, cycle + uint64(rng.Intn(100)) + 1
+}
+
+// collectSequential runs the plain Collector over the stream.
+func collectSequential(t *testing.T, events []trace.Event, numFrames uint32, horizon uint64, cl interval.Classifier) *interval.Distribution {
+	t.Helper()
+	col, err := interval.NewCollector(trace.L1D, numFrames, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := col.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := col.Finish(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// collectSharded runs the ShardedCollector over the same stream.
+func collectSharded(t *testing.T, events []trace.Event, numFrames uint32, horizon uint64, cl interval.Classifier, shards int) *interval.Distribution {
+	t.Helper()
+	sc, err := interval.NewShardedCollector(trace.L1D, numFrames, cl, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	for _, e := range events {
+		if err := sc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := sc.Finish(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestMergePropertySharding is the satellite property test: merging an
+// arbitrary per-frame sharding of a random event stream equals the
+// unsharded distribution, and the conservation invariant (summed lengths
+// == frames x cycles) holds on both sides of the merge.
+func TestMergePropertySharding(t *testing.T) {
+	prop := func(seed int64, framesRaw uint8, eventsRaw uint16, shardsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numFrames := uint32(framesRaw%16) + 1
+		n := int(eventsRaw % 2000)
+		shards := int(shardsRaw%7) + 1
+		events, horizon := randomStream(rng, numFrames, n)
+
+		whole := collectSequential(t, events, numFrames, horizon, nil)
+
+		// Arbitrary per-frame sharding: assign each frame to a random part,
+		// collect each part with its own sequential Collector (frames
+		// remapped to dense local indices), then Merge.
+		owner := make([]int, numFrames)
+		local := make([]uint32, numFrames)
+		counts := make([]uint32, shards)
+		for f := range owner {
+			p := rng.Intn(shards)
+			owner[f] = p
+			local[f] = counts[p]
+			counts[p]++
+		}
+		merged := interval.NewDistribution(0, horizon)
+		for p := 0; p < shards; p++ {
+			if counts[p] == 0 {
+				continue
+			}
+			col, err := interval.NewCollector(trace.L1D, counts[p], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				if owner[e.Frame] != p {
+					continue
+				}
+				le := e
+				le.Frame = local[e.Frame]
+				if err := col.Add(le); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := col.Finish(horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if !merged.Equal(whole) {
+			t.Logf("seed %d: merged != whole (frames %d, events %d, shards %d)", seed, numFrames, n, shards)
+			return false
+		}
+		want := uint64(numFrames) * horizon
+		if whole.Mass() != want || merged.Mass() != want {
+			t.Logf("seed %d: conservation broken: whole %d, merged %d, want %d", seed, whole.Mass(), merged.Mass(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCollectorMatchesSequential drives the real concurrent
+// ShardedCollector (live shard workers and SPSC queues; run under -race in
+// CI) against the sequential Collector over identical streams and demands
+// bit-identical distributions for every shard count.
+func TestShardedCollectorMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		numFrames uint32
+		n         int
+		shards    int
+	}{
+		{1, 500, 4},  // shards clamp to numFrames
+		{7, 3000, 3}, // non-divisible partition
+		{64, 20000, 4},
+		{64, 20000, 8},
+		{256, 50000, 5},
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.numFrames)*1000 + int64(tc.shards)))
+		events, horizon := randomStream(rng, tc.numFrames, tc.n)
+		whole := collectSequential(t, events, tc.numFrames, horizon, nil)
+		sharded := collectSharded(t, events, tc.numFrames, horizon, nil, tc.shards)
+		if !sharded.Equal(whole) {
+			t.Errorf("frames=%d events=%d shards=%d: sharded distribution differs from sequential",
+				tc.numFrames, tc.n, tc.shards)
+		}
+		if got, want := sharded.Mass(), uint64(tc.numFrames)*horizon; got != want {
+			t.Errorf("frames=%d shards=%d: mass %d, want %d (conservation)", tc.numFrames, tc.shards, got, want)
+		}
+	}
+}
+
+// orderClassifier is a deliberately stateful, stream-order-dependent
+// classifier: it flags an interval NL-prefetchable when the immediately
+// preceding event in the *global* stream touched the previous cache line.
+// Any reordering or per-shard splitting of classification would change its
+// output — proving the producer-side classification of the sharded path
+// sees exactly the sequential order.
+type orderClassifier struct {
+	prevLine uint64
+	seen     bool
+}
+
+func (o *orderClassifier) Classify(e trace.Event, start uint64) interval.Flags {
+	if o.seen && o.prevLine+1 == e.LineAddr {
+		return interval.NLPrefetchable
+	}
+	return 0
+}
+
+func (o *orderClassifier) Observe(e trace.Event) {
+	o.prevLine = e.LineAddr
+	o.seen = true
+}
+
+// TestShardedCollectorClassifierOrder verifies flags computed through a
+// stream-order-sensitive classifier are identical between the sequential
+// and the sharded paths.
+func TestShardedCollectorClassifierOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const numFrames, n = 32, 20000
+	events, horizon := randomStream(rng, numFrames, n)
+	whole := collectSequential(t, events, numFrames, horizon, &orderClassifier{})
+	sharded := collectSharded(t, events, numFrames, horizon, &orderClassifier{}, 4)
+	if !sharded.Equal(whole) {
+		t.Fatal("classifier flags differ between sequential and sharded collection")
+	}
+	// The stream must actually have produced some flagged intervals, or
+	// the comparison proves nothing.
+	flagged := whole.Count(func(l uint64, f interval.Flags) bool { return f.Prefetchable() })
+	if flagged == 0 {
+		t.Fatal("degenerate test: no prefetchable intervals were flagged")
+	}
+}
+
+// TestShardedCollectorErrors exercises the sentinel errors via errors.Is —
+// the contract that replaced message matching.
+func TestShardedCollectorErrors(t *testing.T) {
+	sc, err := interval.NewShardedCollector(trace.L1D, 8, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if err := sc.Add(trace.Event{Cycle: 100, Frame: 3, Cache: trace.L1D}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Add(trace.Event{Cycle: 99, Frame: 3, Cache: trace.L1D}); !errors.Is(err, interval.ErrOutOfOrder) {
+		t.Fatalf("out-of-order: got %v, want ErrOutOfOrder", err)
+	}
+	if err := sc.Add(trace.Event{Cycle: 100, Frame: 8, Cache: trace.L1D}); !errors.Is(err, interval.ErrFrameRange) {
+		t.Fatalf("frame range: got %v, want ErrFrameRange", err)
+	}
+	if _, err := sc.Finish(10); !errors.Is(err, interval.ErrHorizon) {
+		t.Fatalf("horizon: got %v, want ErrHorizon", err)
+	}
+	if _, err := sc.Finish(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Add(trace.Event{Cycle: 300, Frame: 1, Cache: trace.L1D}); !errors.Is(err, interval.ErrFinished) {
+		t.Fatalf("add after finish: got %v, want ErrFinished", err)
+	}
+	if _, err := sc.Finish(300); !errors.Is(err, interval.ErrFinished) {
+		t.Fatalf("double finish: got %v, want ErrFinished", err)
+	}
+
+	var d *interval.Distribution = interval.NewDistribution(1, 10)
+	if err := d.Merge(nil); !errors.Is(err, interval.ErrNilDistribution) {
+		t.Fatalf("nil merge: got %v, want ErrNilDistribution", err)
+	}
+}
+
+// TestShardedCollectorCloseIsSafe covers the cancellation path: Close
+// before Finish, double Close, Close after Finish.
+func TestShardedCollectorCloseIsSafe(t *testing.T) {
+	sc, err := interval.NewShardedCollector(trace.L1D, 16, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := sc.Add(trace.Event{Cycle: uint64(i), Frame: uint32(i % 16), Cache: trace.L1D}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc.Close()
+	sc.Close() // idempotent
+	if err := sc.Add(trace.Event{Cycle: 2000, Frame: 0, Cache: trace.L1D}); !errors.Is(err, interval.ErrFinished) {
+		t.Fatalf("add after close: got %v, want ErrFinished", err)
+	}
+
+	sc2, err := interval.NewShardedCollector(trace.L1D, 16, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc2.Finish(1); err != nil {
+		t.Fatal(err)
+	}
+	sc2.Close() // no-op after Finish
+}

@@ -9,6 +9,7 @@ package leakage
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"leakbound/internal/interval"
@@ -49,11 +50,11 @@ func HybridBreakdown(t power.Technology, d *interval.Distribution) (Breakdown, e
 		return Breakdown{}, err
 	}
 	if d == nil {
-		return Breakdown{}, errors.New("leakage: nil distribution")
+		return Breakdown{}, ErrNilDistribution
 	}
 	baseline := t.PActive * float64(d.Mass())
 	if baseline == 0 {
-		return Breakdown{}, errors.New("leakage: empty distribution")
+		return Breakdown{}, fmt.Errorf("%w: zero mass", ErrEmptyDistribution)
 	}
 	a, b, err := t.InflectionPoints()
 	if err != nil {

@@ -1,0 +1,22 @@
+package leakage
+
+import "errors"
+
+// Sentinel errors for the conditions callers branch on. Match with
+// errors.Is — the error may be wrapped with situational detail — instead
+// of comparing message strings.
+var (
+	// ErrNilDistribution reports evaluation over a nil distribution.
+	ErrNilDistribution = errors.New("leakage: nil distribution")
+
+	// ErrNilPolicy reports evaluation with a nil policy.
+	ErrNilPolicy = errors.New("leakage: nil policy")
+
+	// ErrEmptyDistribution reports evaluation over a distribution with
+	// zero mass (no frame-cycles): there is no baseline to compare
+	// against.
+	ErrEmptyDistribution = errors.New("leakage: empty distribution")
+
+	// ErrNoEvaluations reports an average over zero evaluations.
+	ErrNoEvaluations = errors.New("leakage: no evaluations to average")
+)

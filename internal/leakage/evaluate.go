@@ -1,7 +1,6 @@
 package leakage
 
 import (
-	"errors"
 	"fmt"
 
 	"leakbound/internal/interval"
@@ -30,14 +29,14 @@ func Evaluate(t power.Technology, d *interval.Distribution, p Policy) (Evaluatio
 		return Evaluation{}, err
 	}
 	if d == nil {
-		return Evaluation{}, errors.New("leakage: nil distribution")
+		return Evaluation{}, ErrNilDistribution
 	}
 	if p == nil {
-		return Evaluation{}, errors.New("leakage: nil policy")
+		return Evaluation{}, ErrNilPolicy
 	}
 	baseline := t.PActive * float64(d.Mass())
 	if baseline == 0 {
-		return Evaluation{}, errors.New("leakage: empty distribution (zero mass)")
+		return Evaluation{}, fmt.Errorf("%w: zero mass", ErrEmptyDistribution)
 	}
 	var energy float64
 	d.Each(func(length uint64, flags interval.Flags, count uint64) bool {
@@ -69,7 +68,7 @@ func EvaluateAll(t power.Technology, d *interval.Distribution, ps []Policy) ([]E
 // same policy, the way Figure 8's rightmost bars are built.
 func AverageSavings(evals []Evaluation) (float64, error) {
 	if len(evals) == 0 {
-		return 0, errors.New("leakage: no evaluations to average")
+		return 0, ErrNoEvaluations
 	}
 	var s float64
 	for _, e := range evals {

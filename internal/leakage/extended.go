@@ -16,7 +16,6 @@ package leakage
 //     the data array sleeps, the tag array keeps leaking.
 
 import (
-	"errors"
 	"fmt"
 
 	"leakbound/internal/interval"
@@ -79,7 +78,7 @@ func DecayThetaLadder() []uint64 {
 // field ("Adaptive-Decay(theta=N)").
 func EvaluateAdaptiveDecay(t power.Technology, d *interval.Distribution) (Evaluation, error) {
 	if d == nil {
-		return Evaluation{}, errors.New("leakage: nil distribution")
+		return Evaluation{}, ErrNilDistribution
 	}
 	var best Evaluation
 	var bestTheta uint64
@@ -135,7 +134,7 @@ func (p AMCSleep) IntervalEnergy(t power.Technology, length uint64, flags interv
 // tag array always powered.
 func EvaluateAMC(t power.Technology, d *interval.Distribution, tagFraction float64) (Evaluation, error) {
 	if d == nil {
-		return Evaluation{}, errors.New("leakage: nil distribution")
+		return Evaluation{}, ErrNilDistribution
 	}
 	if tagFraction < 0 || tagFraction >= 1 {
 		return Evaluation{}, fmt.Errorf("leakage: tag fraction %g outside [0,1)", tagFraction)

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
+)
+
+// TestRunContextCancelled verifies an already-cancelled context stops the
+// run almost immediately, returns ctx.Err(), and never calls the sink
+// after RunContext returns.
+func TestRunContextCancelled(t *testing.T) {
+	w := workload.MustNew("gzip", 0.2)
+	hier, err := cache.NewHierarchy(cache.AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var events uint64
+	res, err := RunContext(ctx, w, hier, DefaultConfig(), func(e trace.Event) { events++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The pre-cancelled context is observed on the very first check.
+	if res.Instructions > ctxCheckMask+1 {
+		t.Fatalf("ran %d instructions after cancellation (check mask %d)", res.Instructions, ctxCheckMask)
+	}
+	if events > 0 && res.Cycles == 0 {
+		t.Fatalf("sink saw %d events but result reports no cycles", events)
+	}
+}
+
+// TestRunContextDeadline verifies a deadline mid-run stops promptly with
+// DeadlineExceeded and a partial result.
+func TestRunContextDeadline(t *testing.T) {
+	w := workload.MustNew("gcc", 1.0)
+	hier, err := cache.NewHierarchy(cache.AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := RunContext(ctx, w, hier, DefaultConfig(), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt stop", elapsed)
+	}
+	// A full gcc run is millions of instructions; a 1ms budget must have
+	// stopped it early, and the partial result must still be coherent.
+	full, err := Run(workload.MustNew("gcc", 1.0), mustHierarchy(t), DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions >= full.Instructions {
+		t.Fatalf("deadline run executed %d instructions, full run %d — not cancelled early",
+			res.Instructions, full.Instructions)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun proves the context plumbing does not
+// perturb the simulation: Run and RunContext(Background) produce identical
+// results and identical event streams.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	mk := func() (workload.Workload, *cache.Hierarchy) {
+		return workload.MustNew("gzip", 0.05), mustHierarchy(t)
+	}
+	w1, h1 := mk()
+	var n1 uint64
+	r1, err := Run(w1, h1, DefaultConfig(), func(e trace.Event) { n1++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, h2 := mk()
+	var n2 uint64
+	r2, err := RunContext(context.Background(), w2, h2, DefaultConfig(), func(e trace.Event) { n2++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || n1 != n2 {
+		t.Fatalf("Run %+v (%d events) != RunContext %+v (%d events)", r1, n1, r2, n2)
+	}
+}
+
+func mustHierarchy(t *testing.T) *cache.Hierarchy {
+	t.Helper()
+	h, err := cache.NewHierarchy(cache.AlphaLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

@@ -14,6 +14,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,7 +81,24 @@ func (r Result) IPC() float64 {
 
 // Run simulates the workload through the hierarchy, pushing every L1I, L1D
 // and L2 access to sink (which may be nil to collect statistics only).
+// It is RunContext with a background context.
 func Run(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Result, error) {
+	return RunContext(context.Background(), w, hier, cfg, sink)
+}
+
+// ctxCheckMask throttles cancellation checks to every 4096 instructions —
+// frequent enough that a multi-million-instruction run stops within
+// microseconds of cancellation, rare enough that the hot loop never feels
+// the context's mutex.
+const ctxCheckMask = 1<<12 - 1
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every few thousand instructions and, once the context is done, stops
+// emitting, flushes its partial run totals to telemetry (so an aborted
+// sweep still leaves an audit trail), and returns the partial Result
+// together with ctx.Err(). The sink contract is unchanged: it is invoked
+// synchronously on this goroutine and never after RunContext returns.
+func RunContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -90,7 +108,7 @@ func Run(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Res
 	if hier == nil {
 		return Result{}, errors.New("cpu: nil hierarchy")
 	}
-	m := &machine{cfg: cfg, hier: hier, sink: sink}
+	m := &machine{cfg: cfg, hier: hier, sink: sink, ctx: ctx}
 	if cfg.Branch.Enabled {
 		m.predictor = newBimodal(cfg.Branch.TableBits)
 	}
@@ -108,21 +126,28 @@ func Run(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Res
 		res.Branch = m.predictor.stats
 	}
 	// Flush run totals to telemetry in one shot — the per-event path stays
-	// free of shared-memory traffic.
+	// free of shared-memory traffic. Cancelled runs flush too, tagged by
+	// the runs_cancelled counter.
 	sc := telemetry.Default().Scope("cpu")
 	sc.Counter("runs").Add(1)
 	sc.Counter("instructions").Add(res.Instructions)
 	sc.Counter("cycles").Add(res.Cycles)
 	sc.Counter("events_emitted").Add(m.events)
 	sc.Histogram("run_cycles").Record(res.Cycles)
+	if m.ctxErr != nil {
+		sc.Counter("runs_cancelled").Add(1)
+		return res, m.ctxErr
+	}
 	return res, nil
 }
 
 // machine holds the in-flight fetch group and the cycle clock.
 type machine struct {
-	cfg  Config
-	hier *cache.Hierarchy
-	sink Sink
+	cfg    Config
+	hier   *cache.Hierarchy
+	sink   Sink
+	ctx    context.Context
+	ctxErr error
 
 	cycle  uint64
 	instrs uint64
@@ -140,6 +165,13 @@ type machine struct {
 func (m *machine) consume(in workload.Instr) bool {
 	if m.stopping {
 		return false
+	}
+	if m.instrs&ctxCheckMask == 0 {
+		if err := m.ctx.Err(); err != nil {
+			m.ctxErr = err
+			m.stopping = true
+			return false
+		}
 	}
 	if len(m.group) > 0 {
 		last := m.group[len(m.group)-1]
@@ -254,10 +286,16 @@ func (m *machine) emit(e trace.Event) {
 
 // RunToStream is a convenience wrapper that collects all events for one
 // cache into an in-memory trace.Stream; intended for tests and small tools,
-// not full-length runs.
+// not full-length runs. It is RunToStreamContext with a background context.
 func RunToStream(w workload.Workload, hier *cache.Hierarchy, cfg Config, id trace.CacheID) (*trace.Stream, Result, error) {
+	return RunToStreamContext(context.Background(), w, hier, cfg, id)
+}
+
+// RunToStreamContext is RunToStream with cooperative cancellation; see
+// RunContext for the cancellation semantics.
+func RunToStreamContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, id trace.CacheID) (*trace.Stream, Result, error) {
 	s := &trace.Stream{}
-	res, err := Run(w, hier, cfg, func(e trace.Event) {
+	res, err := RunContext(ctx, w, hier, cfg, func(e trace.Event) {
 		if e.Cache == id {
 			if err := s.Append(e); err != nil {
 				panic(err) // Run guarantees monotone cycles; a failure here is a bug

@@ -14,6 +14,7 @@
 package simpoint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -289,13 +290,32 @@ func Analyze(rawWindows []map[uint32]float64, k, maxIter int) (Result, error) {
 // PickSimPoints runs the full pipeline over a workload: collect BBVs with
 // the given window size, cluster into k phases, and return the result.
 func PickSimPoints(w workload.Workload, windowSize, k int) (Result, error) {
+	return PickSimPointsContext(context.Background(), w, windowSize, k)
+}
+
+// PickSimPointsContext is PickSimPoints with cooperative cancellation: the
+// BBV collection pass polls ctx every few thousand instructions and the
+// function returns ctx.Err() once the context is done.
+func PickSimPointsContext(ctx context.Context, w workload.Workload, windowSize, k int) (Result, error) {
 	col, err := NewBBVCollector(windowSize, 6)
 	if err != nil {
 		return Result{}, err
 	}
+	var n uint64
+	var ctxErr error
 	w.Emit(func(in workload.Instr) bool {
+		if n&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		n++
 		col.Add(in)
 		return true
 	})
+	if ctxErr != nil {
+		return Result{}, ctxErr
+	}
 	return Analyze(col.Windows(), k, 50)
 }
