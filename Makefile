@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench cover test-parallel
+.PHONY: build test race lint bench cover test-parallel smoke fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -44,3 +44,13 @@ bench:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# End-to-end daemon smoke: build cmd/leakaged, boot it on an ephemeral
+# port, probe /readyz and a figure endpoint, SIGTERM, require exit 0.
+smoke:
+	GO=$(GO) sh scripts/smoke_leakaged.sh
+
+# Replay the seed corpus of every fuzz target as plain tests (no fuzzing
+# time budget needed) — the regression net for the trace codec.
+fuzz-regress:
+	$(GO) test -run=Fuzz ./internal/sim/trace/

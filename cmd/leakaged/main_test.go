@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, exercises
+// the health and API surface, then cancels the context (the SIGTERM path)
+// and requires a clean exit.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, appConfig{
+			addr:         "127.0.0.1:0",
+			scale:        0.02,
+			cacheEntries: 16,
+			queueDepth:   4,
+			queueWait:    time.Second,
+			drainTimeout: 5 * time.Second,
+			quiet:        true,
+		}, func(a net.Addr) { ready <- a })
+	}()
+	var base string
+	select {
+	case a := <-ready:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	if status, body := get("/healthz"); status != http.StatusOK {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+	if status, body := get("/readyz"); status != http.StatusOK {
+		t.Errorf("readyz: %d %s", status, body)
+	}
+	status, body := get("/api/v1/inflections?tech=70nm")
+	if status != http.StatusOK {
+		t.Fatalf("inflections: %d %s", status, body)
+	}
+	var infl map[string]any
+	if err := json.Unmarshal(body, &infl); err != nil {
+		t.Fatalf("inflections JSON: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestRunRejectsBadConfig: an invalid scale fails fast, before binding.
+func TestRunRejectsBadConfig(t *testing.T) {
+	err := run(context.Background(), appConfig{addr: "127.0.0.1:0", scale: -1, quiet: true}, nil)
+	if err == nil {
+		t.Fatal("run accepted a negative scale")
+	}
+}

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	suite, err := experiments.NewSuite(0.25)
+	suite, err := experiments.New(experiments.WithScale(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,7 @@ import (
 func main() {
 	// A Suite simulates benchmarks and caches their interval distributions.
 	// Scale 0.25 keeps this example under a second.
-	suite, err := experiments.NewSuite(0.25)
+	suite, err := experiments.New(experiments.WithScale(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}

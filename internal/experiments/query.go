@@ -1,0 +1,227 @@
+package experiments
+
+// The exported query surface for the serving layer (cmd/leakaged): every
+// figure and table of the suite is a closed-form function of
+// (technology x policy x benchmark x cache side), and these helpers
+// expose that space as parseable, parameterized queries instead of the
+// fixed figure set the batch CLIs print. All evaluations route through
+// the suite's EvaluateGrid, so served cells share the same telemetry
+// ("grid" scope) and worker bound as the batch sweeps.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+)
+
+// Sentinel errors for query parsing; match with errors.Is.
+var (
+	// ErrUnknownPolicy reports a policy name outside PolicyNames.
+	ErrUnknownPolicy = fmt.Errorf("experiments: unknown policy")
+
+	// ErrUnknownCacheSide reports a cache-side selector outside {i, d}.
+	ErrUnknownCacheSide = fmt.Errorf("experiments: unknown cache side")
+
+	// ErrUnknownTechnology reports a technology name with no built-in node.
+	ErrUnknownTechnology = fmt.Errorf("experiments: unknown technology")
+)
+
+// PolicyNames lists the canonical spellings ParsePolicy accepts, in
+// presentation order. Parameterized policies take an optional "@theta"
+// suffix (e.g. "opt-sleep@5088").
+func PolicyNames() []string {
+	return []string{
+		"active", "opt-drowsy", "opt-sleep", "opt-hybrid",
+		"sleep-decay", "periodic-drowsy", "prefetch-a", "prefetch-b",
+	}
+}
+
+// ParsePolicy builds a leakage policy from a query spelling: one of
+// PolicyNames, case-insensitive, with an optional "@theta" suffix for the
+// parameterized schemes. A zero/absent theta falls back to the
+// technology's drowsy-sleep inflection point b for opt-sleep and
+// sleep-decay (the paper's own default), and to 2000 cycles for
+// periodic-drowsy.
+func ParsePolicy(spec string, tech power.Technology) (leakage.Policy, error) {
+	name := strings.ToLower(strings.TrimSpace(spec))
+	var theta uint64
+	if at := strings.IndexByte(name, '@'); at >= 0 {
+		v, err := strconv.ParseUint(name[at+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad theta in %q: %v", ErrUnknownPolicy, spec, err)
+		}
+		theta, name = v, name[:at]
+	}
+	inflectionB := func() (uint64, error) {
+		if theta > 0 {
+			return theta, nil
+		}
+		_, b, err := tech.InflectionPoints()
+		if err != nil {
+			return 0, err
+		}
+		return uint64(b + 0.5), nil
+	}
+	switch name {
+	case "active":
+		return leakage.AlwaysActive{}, nil
+	case "opt-drowsy":
+		return leakage.OPTDrowsy{}, nil
+	case "opt-sleep":
+		th, err := inflectionB()
+		if err != nil {
+			return nil, err
+		}
+		return leakage.OPTSleep{Theta: th}, nil
+	case "opt-hybrid":
+		return leakage.OPTHybrid{SleepTheta: theta}, nil
+	case "sleep-decay":
+		th, err := inflectionB()
+		if err != nil {
+			return nil, err
+		}
+		return leakage.SleepDecay{Theta: th}, nil
+	case "periodic-drowsy":
+		if theta == 0 {
+			theta = 2000
+		}
+		return leakage.PeriodicDrowsy{Window: theta}, nil
+	case "prefetch-a":
+		return leakage.PrefetchA(), nil
+	case "prefetch-b":
+		return leakage.PrefetchB(), nil
+	default:
+		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownPolicy, spec, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// ParseCacheSide maps a query selector onto the study's two L1 subjects:
+// "i"/"icache"/"instruction" or "d"/"dcache"/"data".
+func ParseCacheSide(s string) (iCache bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "i", "icache", "instruction", "":
+		return true, nil
+	case "d", "dcache", "data":
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: %q (want i or d)", ErrUnknownCacheSide, s)
+	}
+}
+
+// ParseTechnology resolves a built-in node by name ("70nm", "100nm",
+// "130nm", "180nm"); the empty string selects power.Default().
+func ParseTechnology(name string) (power.Technology, error) {
+	if strings.TrimSpace(name) == "" {
+		return power.Default(), nil
+	}
+	t, err := power.TechnologyByName(strings.TrimSpace(name))
+	if err != nil {
+		return power.Technology{}, fmt.Errorf("%w: %v", ErrUnknownTechnology, err)
+	}
+	return t, nil
+}
+
+// CellEvaluation is one served (benchmark x cache x technology x policy)
+// cell: the evaluation plus the coordinates that produced it.
+type CellEvaluation struct {
+	Benchmark  string  `json:"benchmark"`
+	Cache      string  `json:"cache"`
+	Technology string  `json:"technology"`
+	Policy     string  `json:"policy"`
+	Energy     float64 `json:"energy"`
+	Baseline   float64 `json:"baseline"`
+	Savings    float64 `json:"savings"`
+}
+
+// EvaluateCellContext evaluates one policy on one benchmark's cache at one
+// technology node, simulating the benchmark on first use (shared through
+// the suite's singleflight) and evaluating on the suite's grid.
+func (s *Suite) EvaluateCellContext(ctx context.Context, benchmark string, iCache bool, tech power.Technology, pol leakage.Policy) (CellEvaluation, error) {
+	bd, err := s.DataContext(ctx, benchmark)
+	if err != nil {
+		return CellEvaluation{}, err
+	}
+	dist := bd.ICache
+	side := "i"
+	if !iCache {
+		dist = bd.DCache
+		side = "d"
+	}
+	evs, err := s.EvaluateGrid(ctx, []Cell{{Tech: tech, Policy: pol, Dist: dist,
+		Label: fmt.Sprintf("query/%s/%s/%s/%s", benchmark, side, tech.Name, pol.Name())}})
+	if err != nil {
+		return CellEvaluation{}, err
+	}
+	return CellEvaluation{
+		Benchmark:  benchmark,
+		Cache:      side,
+		Technology: tech.Name,
+		Policy:     evs[0].Policy,
+		Energy:     evs[0].Energy,
+		Baseline:   evs[0].Baseline,
+		Savings:    evs[0].Savings,
+	}, nil
+}
+
+// SweepPoint is one theta sample of a parameterized sweep: the
+// benchmark-averaged savings of the scheme with that minimum sleepable
+// interval length.
+type SweepPoint struct {
+	Theta   uint64  `json:"theta"`
+	Savings float64 `json:"savings"`
+}
+
+// SweepThetaContext generalizes Figure 7 into a parameterized query:
+// for each theta it evaluates the scheme ("opt-sleep" or "opt-hybrid",
+// per ParsePolicy with the theta substituted) on every benchmark's chosen
+// cache at tech, and averages — the cells run concurrently on the grid,
+// the reduction in deterministic loop order.
+func (s *Suite) SweepThetaContext(ctx context.Context, scheme string, iCache bool, tech power.Technology, thetas []uint64) ([]SweepPoint, error) {
+	if len(thetas) == 0 {
+		return nil, fmt.Errorf("%w: empty theta sweep", ErrBadOption)
+	}
+	all, err := s.AllContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(thetas)*len(all))
+	for _, theta := range thetas {
+		pol, err := ParsePolicy(fmt.Sprintf("%s@%d", scheme, theta), tech)
+		if err != nil {
+			return nil, err
+		}
+		for _, bd := range all {
+			dist := bd.ICache
+			if !iCache {
+				dist = bd.DCache
+			}
+			cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
+				Label: fmt.Sprintf("sweep/%s@%d/%s", scheme, theta, bd.Name)})
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(thetas))
+	k := 0
+	for _, theta := range thetas {
+		var sum float64
+		for range all {
+			sum += evs[k].Savings
+			k++
+		}
+		out = append(out, SweepPoint{Theta: theta, Savings: sum / float64(len(all))})
+	}
+	return out, nil
+}
+
+// Workers reports the suite's resolved parallelism bound (WithWorkers,
+// defaulting to GOMAXPROCS); the serving layer sizes its admission
+// semaphore off it so HTTP concurrency and simulation concurrency share
+// one budget.
+func (s *Suite) Workers() int { return s.poolWorkers() }

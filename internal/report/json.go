@@ -1,0 +1,35 @@
+package report
+
+// JSON rendering for the serving layer (cmd/leakaged): the same tables
+// and series the CLIs print as text are marshaled deterministically, so
+// HTTP responses can be byte-compared, cached, and ETagged.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RenderJSON writes the table as a JSON document {title, headers, rows}.
+// The encoding is deterministic for a given table, so repeated renders of
+// the same result are byte-identical (the property the server's ETag and
+// result cache rely on).
+func (t *Table) RenderJSON(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errNoColumns
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// JSONBytes marshals the table to a single newline-terminated JSON line —
+// the same bytes RenderJSON writes.
+func (t *Table) JSONBytes() ([]byte, error) {
+	if len(t.Headers) == 0 {
+		return nil, errNoColumns
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Benchmark", "Savings"},
+		Rows: [][]string{
+			{"gzip", "0.98"},
+			{"mesa", "0.97"},
+		},
+	}
+	var b strings.Builder
+	if err := tbl.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("RenderJSON output does not parse: %v", err)
+	}
+	if got.Title != tbl.Title || len(got.Rows) != 2 || got.Rows[1][0] != "mesa" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	bs, err := tbl.JSONBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(bs), "\n") {
+		t.Error("JSONBytes output not newline-terminated")
+	}
+	bs2, _ := tbl.JSONBytes()
+	if string(bs) != string(bs2) {
+		t.Error("JSONBytes not deterministic")
+	}
+}
+
+func TestRenderJSONRejectsEmptyTable(t *testing.T) {
+	var b strings.Builder
+	if err := (&Table{Title: "Empty"}).RenderJSON(&b); err == nil {
+		t.Error("RenderJSON accepted a table with no columns")
+	}
+	if _, err := (&Table{}).JSONBytes(); err == nil {
+		t.Error("JSONBytes accepted a table with no columns")
+	}
+}

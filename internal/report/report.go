@@ -12,10 +12,13 @@ import (
 
 // Table is a simple column-aligned table with a title.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
+
+// errNoColumns reports a render of a table with no columns.
+var errNoColumns = errors.New("report: table has no columns")
 
 // NewTable creates a table with the given title and column headers.
 func NewTable(title string, headers ...string) *Table {
@@ -57,7 +60,7 @@ func (t *Table) widths() []int {
 // Render writes the table as aligned ASCII.
 func (t *Table) Render(w io.Writer) error {
 	if len(t.Headers) == 0 {
-		return errors.New("report: table has no columns")
+		return errNoColumns
 	}
 	widths := t.widths()
 	var b strings.Builder
@@ -106,7 +109,7 @@ func (t *Table) String() string {
 // it).
 func (t *Table) RenderCSV(w io.Writer) error {
 	if len(t.Headers) == 0 {
-		return errors.New("report: table has no columns")
+		return errNoColumns
 	}
 	writeRow := func(cells []string) error {
 		parts := make([]string, len(cells))
@@ -138,9 +141,9 @@ func F(v float64) string { return fmt.Sprintf("%.4g", v) }
 
 // Series is a named sequence of (x, y) points — one line of a figure.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Add appends one point.
@@ -200,7 +203,7 @@ func RenderSeries(w io.Writer, title, xLabel string, series ...*Series) error {
 // experiment binary uses it to emit results files that diff cleanly.
 func (t *Table) RenderMarkdown(w io.Writer) error {
 	if len(t.Headers) == 0 {
-		return errors.New("report: table has no columns")
+		return errNoColumns
 	}
 	var b strings.Builder
 	if t.Title != "" {

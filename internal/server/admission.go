@@ -1,0 +1,200 @@
+package server
+
+// Admission control: a weighted semaphore sized off the suite's worker
+// bound, so HTTP concurrency and simulation concurrency draw from one
+// budget. Heavy endpoints (full-suite sweeps) acquire the whole capacity;
+// light ones acquire a single unit. Overload is bounded twice: at most
+// queueDepth requests may wait, and none waits longer than maxWait —
+// beyond either bound the client gets an immediate, honest overload
+// status with a Retry-After hint instead of an unbounded queue:
+//
+//	queue full   -> 429 Too Many Requests, Retry-After: 1
+//	wait expired -> 503 Service Unavailable, Retry-After: ~maxWait
+//
+// Grants are FIFO (a heavy waiter at the head blocks later light ones),
+// which trades a little utilization for starvation-freedom.
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"leakbound/internal/telemetry"
+)
+
+// overloadError is the admission layer's refusal; writeError turns it
+// into the HTTP status and Retry-After header.
+type overloadError struct {
+	status     int
+	retryAfter time.Duration
+	reason     string
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("server: overloaded (%s)", e.reason)
+}
+
+// admWaiter is one queued acquisition; ready is closed under the
+// admission lock when the units are granted.
+type admWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+// admission is the weighted semaphore.
+type admission struct {
+	capacity   int64
+	queueDepth int
+	maxWait    time.Duration
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *admWaiter, FIFO
+
+	inflight    *telemetry.Gauge
+	queued      *telemetry.Gauge
+	admitted    *telemetry.Counter
+	fullRejects *telemetry.Counter
+	waitExpired *telemetry.Counter
+	abandoned   *telemetry.Counter
+}
+
+// newAdmission builds the semaphore and wires its telemetry into sc.
+func newAdmission(capacity int64, queueDepth int, maxWait time.Duration, sc *telemetry.Scope) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &admission{
+		capacity:    capacity,
+		queueDepth:  queueDepth,
+		maxWait:     maxWait,
+		inflight:    sc.Gauge("admission/inflight_units"),
+		queued:      sc.Gauge("admission/queued"),
+		admitted:    sc.Counter("admission/admitted"),
+		fullRejects: sc.Counter("admission/rejected_queue_full"),
+		waitExpired: sc.Counter("admission/rejected_wait_timeout"),
+		abandoned:   sc.Counter("admission/abandoned_waits"),
+	}
+}
+
+// clamp bounds a weight to the capacity so "the whole machine" requests
+// stay grantable.
+func (a *admission) clamp(n int64) int64 {
+	if n < 1 {
+		return 1
+	}
+	if n > a.capacity {
+		return a.capacity
+	}
+	return n
+}
+
+// Acquire obtains n units (clamped to capacity), waiting at most maxWait
+// behind at most queueDepth other waiters. It returns an *overloadError
+// when a bound is exceeded, or ctx.Err() if the caller gave up first.
+func (a *admission) Acquire(ctx context.Context, n int64) error {
+	n = a.clamp(n)
+	a.mu.Lock()
+	if a.cur+n <= a.capacity && a.waiters.Len() == 0 {
+		a.cur += n
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		a.inflight.Add(n)
+		return nil
+	}
+	if a.waiters.Len() >= a.queueDepth {
+		a.mu.Unlock()
+		a.fullRejects.Add(1)
+		return &overloadError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: time.Second,
+			reason:     "admission queue full",
+		}
+	}
+	w := &admWaiter{n: n, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.mu.Unlock()
+	a.queued.Add(1)
+	defer a.queued.Add(-1)
+
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		a.admitted.Add(1)
+		a.inflight.Add(n)
+		return nil
+	case <-ctx.Done():
+		if a.abandon(elem, w) {
+			a.abandoned.Add(1)
+			return ctx.Err()
+		}
+		// Granted concurrently with cancellation: hand the units back.
+		a.release(n)
+		return ctx.Err()
+	case <-timer.C:
+		if a.abandon(elem, w) {
+			a.waitExpired.Add(1)
+			retry := a.maxWait
+			if retry < time.Second {
+				retry = time.Second
+			}
+			return &overloadError{
+				status:     http.StatusServiceUnavailable,
+				retryAfter: retry,
+				reason:     fmt.Sprintf("no capacity within %v", a.maxWait),
+			}
+		}
+		// Granted just as the timer fired: keep the grant.
+		a.admitted.Add(1)
+		a.inflight.Add(n)
+		return nil
+	}
+}
+
+// abandon removes a still-ungranted waiter; it reports false if the grant
+// already happened (in which case the caller owns the units).
+func (a *admission) abandon(elem *list.Element, w *admWaiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case <-w.ready:
+		return false
+	default:
+	}
+	a.waiters.Remove(elem)
+	return true
+}
+
+// Release returns n units (clamped the same way Acquire clamped them) and
+// grants queued waiters FIFO while they fit.
+func (a *admission) Release(n int64) {
+	n = a.clamp(n)
+	a.inflight.Add(-n)
+	a.release(n)
+}
+
+// release is Release without the telemetry (used on the
+// granted-but-cancelled path, where inflight was never incremented).
+func (a *admission) release(n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cur -= n
+	if a.cur < 0 {
+		panic("server: admission released more than acquired")
+	}
+	for e := a.waiters.Front(); e != nil; {
+		w := e.Value.(*admWaiter)
+		if a.cur+w.n > a.capacity {
+			break // FIFO: never let a later light request starve the head
+		}
+		a.cur += w.n
+		next := e.Next()
+		a.waiters.Remove(e)
+		close(w.ready)
+		e = next
+	}
+}

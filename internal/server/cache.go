@@ -1,0 +1,156 @@
+package server
+
+// The result cache: every servable result is a deterministic function of
+// its canonicalized request parameters (the suite is fixed at startup and
+// simulation is bit-reproducible), so responses are cached whole — body,
+// content type, and ETag — under an LRU bound with hit/miss/eviction
+// telemetry. There is no TTL: entries are only ever displaced by the size
+// bound.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"leakbound/internal/telemetry"
+)
+
+// cachedResult is one materialized response.
+type cachedResult struct {
+	body        []byte
+	contentType string
+	etag        string
+}
+
+// etagFor derives a strong validator from the response bytes.
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatch implements If-None-Match against a strong ETag: a "*" or any
+// listed value (weak prefixes tolerated) matches.
+func etagMatch(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalKey reduces a request to its cache identity: the path plus the
+// query parameters re-encoded with sorted keys and sorted values, so
+// ?a=1&b=2 and ?b=2&a=1 coalesce and share one cache entry.
+func canonicalKey(path string, query url.Values) string {
+	if len(query) == 0 {
+		return path
+	}
+	keys := make([]string, 0, len(query))
+	for k := range query {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(path)
+	b.WriteByte('?')
+	first := true
+	for _, k := range keys {
+		vals := append([]string(nil), query[k]...)
+		sort.Strings(vals)
+		for _, v := range vals {
+			if !first {
+				b.WriteByte('&')
+			}
+			first = false
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(v))
+		}
+	}
+	return b.String()
+}
+
+// cacheEntry is the LRU list payload.
+type cacheEntry struct {
+	key string
+	res *cachedResult
+}
+
+// resultCache is a mutex-guarded LRU over canonical keys. A max of zero
+// disables caching (every get misses, puts are dropped) — the coalescing
+// and admission layers still apply.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	entries   *telemetry.Gauge
+}
+
+// newResultCache builds the cache and wires its telemetry into sc.
+func newResultCache(max int, sc *telemetry.Scope) *resultCache {
+	return &resultCache{
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      sc.Counter("cache/hits"),
+		misses:    sc.Counter("cache/misses"),
+		evictions: sc.Counter("cache/evictions"),
+		entries:   sc.Gauge("cache/entries"),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits.Add(1)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) key, evicting from the LRU tail past the
+// size bound.
+func (c *resultCache) put(key string, res *cachedResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// len reports the current entry count (for tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

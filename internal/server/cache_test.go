@@ -1,0 +1,110 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+
+	"leakbound/internal/telemetry"
+)
+
+func newTestCache(max int) (*resultCache, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	return newResultCache(max, reg.Scope("server")), reg
+}
+
+func TestCanonicalKeyOrderInsensitive(t *testing.T) {
+	a, _ := url.ParseQuery("cache=i&tech=70nm&benchmark=gzip")
+	b, _ := url.ParseQuery("benchmark=gzip&tech=70nm&cache=i")
+	if ka, kb := canonicalKey("/eval", a), canonicalKey("/eval", b); ka != kb {
+		t.Errorf("reordered queries produced different keys: %q vs %q", ka, kb)
+	}
+	// Repeated values are sorted too.
+	c, _ := url.ParseQuery("x=2&x=1")
+	d, _ := url.ParseQuery("x=1&x=2")
+	if kc, kd := canonicalKey("/p", c), canonicalKey("/p", d); kc != kd {
+		t.Errorf("reordered repeated values differ: %q vs %q", kc, kd)
+	}
+	if k := canonicalKey("/p", nil); k != "/p" {
+		t.Errorf("empty query key = %q, want bare path", k)
+	}
+	// Distinct values must not collide.
+	e, _ := url.ParseQuery("cache=i")
+	f, _ := url.ParseQuery("cache=d")
+	if canonicalKey("/p", e) == canonicalKey("/p", f) {
+		t.Error("distinct queries collided")
+	}
+}
+
+func TestEtagMatch(t *testing.T) {
+	etag := etagFor([]byte("body"))
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{etag, true},
+		{"*", true},
+		{`"other", ` + etag, true},
+		{"W/" + etag, true},
+		{`"other"`, false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, etag); got != c.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+	if etagFor([]byte("a")) == etagFor([]byte("b")) {
+		t.Error("distinct bodies share an ETag")
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c, reg := newTestCache(2)
+	r := func(s string) *cachedResult { return &cachedResult{body: []byte(s)} }
+	c.put("a", r("a"))
+	c.put("b", r("b"))
+	if _, ok := c.get("a"); !ok { // refresh a: now b is least recent
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", r("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived past the LRU bound")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted out of LRU order", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	sc := reg.Scope("server")
+	if v := sc.Counter("cache/evictions").Value(); v != 1 {
+		t.Errorf("evictions = %d, want 1", v)
+	}
+	if v := sc.Gauge("cache/entries").Value(); v != 2 {
+		t.Errorf("entries gauge = %d, want 2", v)
+	}
+	// Re-putting an existing key refreshes in place.
+	c.put("a", r("a2"))
+	if c.len() != 2 {
+		t.Errorf("len after refresh = %d, want 2", c.len())
+	}
+	if got, _ := c.get("a"); string(got.body) != "a2" {
+		t.Errorf("refresh did not replace the payload: %q", got.body)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c, reg := newTestCache(0)
+	c.put("a", &cachedResult{body: []byte("a")})
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Errorf("disabled cache holds %d entries", c.len())
+	}
+	if v := reg.Scope("server").Counter("cache/misses").Value(); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+// Request coalescing: the HTTP-layer extension of the suite's
+// per-benchmark singleflight (experiments.Suite.DataContext). N concurrent
+// requests with the same canonical key run the compute function once — the
+// first caller leads, the rest wait on its result or their own context,
+// whichever finishes first. A leader that fails does not poison waiters:
+// its failure may be its own client hanging up, so each waiter loops and
+// the next one through takes leadership (the same retry discipline the
+// suite uses, lifted to whole responses).
+
+import (
+	"context"
+	"sync"
+
+	"leakbound/internal/telemetry"
+)
+
+// flight is one in-progress computation; the leader closes done after
+// publishing res/err, and waiters read them only after <-done.
+type flight struct {
+	done chan struct{}
+	res  *cachedResult
+	err  error
+}
+
+// flightGroup deduplicates concurrent computations by canonical key.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	leaders   *telemetry.Counter
+	coalesced *telemetry.Counter
+}
+
+// newFlightGroup builds the group and wires its telemetry into sc.
+func newFlightGroup(sc *telemetry.Scope) *flightGroup {
+	return &flightGroup{
+		inflight:  make(map[string]*flight),
+		leaders:   sc.Counter("coalesce/leader_runs"),
+		coalesced: sc.Counter("coalesce/coalesced_waits"),
+	}
+}
+
+// Do returns the result of fn for key, running fn at most once across all
+// concurrent callers with the same key. fn must honor the leader's
+// context; a waiter whose own ctx ends first returns ctx.Err() without
+// disturbing the flight.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*cachedResult, error)) (*cachedResult, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		if f, ok := g.inflight[key]; ok {
+			g.mu.Unlock()
+			g.coalesced.Add(1)
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.res, nil
+				}
+				// The leader failed — possibly on its own cancelled
+				// context. Loop: a deterministic failure fails again under
+				// this caller's leadership; a leader-only cancellation
+				// must not fail everyone else.
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		g.inflight[key] = f
+		g.mu.Unlock()
+		g.leaders.Add(1)
+
+		res, err := fn()
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+		return res, err
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+// Request instrumentation: every route is wrapped in the telemetry HTTP
+// middleware (per-route counters, status classes, log2 latency
+// histograms) and, when configured, a structured access log — one
+// logfmt-style line per completed request.
+
+import (
+	"net/http"
+	"time"
+
+	"leakbound/internal/telemetry"
+)
+
+// logRecorder captures status and size for the access log.
+type logRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *logRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *logRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps h in the standard middleware stack for a route.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	h = s.accessLog(h)
+	return telemetry.HTTPMetrics(s.reg, "http", route, h)
+}
+
+// accessLog emits one structured line per request when a log sink is
+// configured.
+func (s *Server) accessLog(h http.Handler) http.Handler {
+	if s.logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &logRecorder{ResponseWriter: w}
+		h.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.logger.Printf("ts=%s method=%s path=%q status=%d bytes=%d dur_ms=%d remote=%q",
+			start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.RequestURI(),
+			rec.status, rec.bytes, time.Since(start).Milliseconds(), r.RemoteAddr)
+	})
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+// HTTP middleware metrics for the serving layer: per-route request
+// counters, status-class counters, and log2 latency histograms, recorded
+// into a registry scope with the same deterministic snapshot surface as
+// the simulation metrics. The middleware is dependency-free and cheap —
+// one counter add, one histogram record, one gauge pair per request — so
+// it wraps every route of cmd/leakaged including /metrics itself.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes (200 if the
+// handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards http.Flusher so streaming handlers keep working wrapped.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// HTTPMetrics instruments an http.Handler with per-route metrics in the
+// scope named scopeName of reg:
+//
+//	requests/<route>         counter of completed requests
+//	status/<class>/<route>   counter per status class (2xx, 3xx, 4xx, 5xx)
+//	latency_ns/<route>       log2 histogram of wall time
+//	inflight                 gauge of currently-executing requests
+//
+// route is a stable label (the mux pattern's path), never the raw URL, so
+// the metric space stays bounded no matter what clients request.
+func HTTPMetrics(reg *Registry, scopeName, route string, next http.Handler) http.Handler {
+	sc := reg.Scope(scopeName)
+	requests := sc.Counter("requests/" + route)
+	latency := sc.Histogram("latency_ns/" + route)
+	inflight := sc.Gauge("inflight")
+	classes := [4]*Counter{
+		sc.Counter("status/2xx/" + route),
+		sc.Counter("status/3xx/" + route),
+		sc.Counter("status/4xx/" + route),
+		sc.Counter("status/5xx/" + route),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		inflight.Add(-1)
+		requests.Add(1)
+		latency.Record(uint64(time.Since(start).Nanoseconds()))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		if class := rec.status/100 - 2; class >= 0 && class < len(classes) {
+			classes[class].Add(1)
+		} else {
+			sc.Counter(fmt.Sprintf("status/%d/%s", rec.status, route)).Add(1)
+		}
+	})
+}

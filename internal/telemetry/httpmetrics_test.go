@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPMetricsCountsByStatusClass: the middleware counts requests,
+// buckets statuses by class, and records a latency sample per request.
+func TestHTTPMetricsCountsByStatusClass(t *testing.T) {
+	reg := NewRegistry()
+	h := HTTPMetrics(reg, "http", "/probe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("s") {
+		case "400":
+			http.Error(w, "bad", http.StatusBadRequest)
+		case "500":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			w.Write([]byte("ok")) // implicit 200 via first Write
+		}
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for _, q := range []string{"", "", "?s=400", "?s=500"} {
+		resp, err := ts.Client().Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	sc := reg.Scope("http")
+	checks := []struct {
+		counter string
+		want    uint64
+	}{
+		{"requests//probe", 4},
+		{"status/2xx//probe", 2},
+		{"status/4xx//probe", 1},
+		{"status/5xx//probe", 1},
+	}
+	for _, c := range checks {
+		if got := sc.Counter(c.counter).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.counter, got, c.want)
+		}
+	}
+	if got := sc.Histogram("latency_ns//probe").Count(); got != 4 {
+		t.Errorf("latency samples = %d, want 4", got)
+	}
+	if got := sc.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge = %d after all requests done, want 0", got)
+	}
+}

@@ -8,8 +8,10 @@ package telemetry
 //	/debug/vars   expvar (includes the registry under "telemetry")
 //	/debug/pprof  net/http/pprof profiles
 //
-// The server uses its own mux — nothing is registered on
-// http.DefaultServeMux — so importing this package never changes a host
+// The endpoints register on a caller-supplied mux (RegisterDebug) so the
+// serving daemon can mount them next to its API routes, or on a private
+// mux served standalone (ServeDebug) — nothing is ever registered on
+// http.DefaultServeMux, so importing this package never changes a host
 // program's routing.
 
 import (
@@ -24,7 +26,7 @@ import (
 var publishOnce sync.Once
 
 // PublishExpvar exposes the default registry's snapshot as the expvar
-// variable "telemetry". Idempotent; called automatically by ServeDebug.
+// variable "telemetry". Idempotent; called automatically by RegisterDebug.
 func PublishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
@@ -33,23 +35,23 @@ func PublishExpvar() {
 	})
 }
 
-// ServeDebug starts the debug HTTP server on addr (host:port; use ":0"
-// for an ephemeral port) and returns the bound address. The server runs
-// until the process exits.
-func ServeDebug(addr string) (string, error) {
+// RegisterDebug registers the debug endpoints on mux, snapshotting the
+// default registry; it is RegisterDebugIn(mux, Default()).
+func RegisterDebug(mux *http.ServeMux) { RegisterDebugIn(mux, Default()) }
+
+// RegisterDebugIn registers /metrics, /metrics.json, /debug/vars, and the
+// /debug/pprof family on mux, with the snapshot endpoints reading reg.
+// (/debug/vars always reports the process-wide expvar state, which carries
+// the default registry under "telemetry".)
+func RegisterDebugIn(mux *http.ServeMux, reg *Registry) {
 	PublishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("telemetry: metrics server: %w", err)
-	}
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = Default().Snapshot().WriteText(w)
+		_ = reg.Snapshot().WriteText(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = Default().Snapshot().WriteJSON(w)
+		_ = reg.Snapshot().WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -57,7 +59,25 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+}
+
+// DebugMux returns a fresh mux with the debug endpoints registered against
+// the default registry.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
+	return mux
+}
+
+// ServeDebug starts the debug HTTP server on addr (host:port; use ":0"
+// for an ephemeral port) and returns the bound address. The server runs
+// until the process exits.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: metrics server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
