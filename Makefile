@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench cover test-parallel smoke fuzz-regress
+.PHONY: build test race lint vulncheck bench cover test-parallel smoke fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -15,18 +15,31 @@ race:
 	$(GO) test -race ./...
 
 # gofmt -l lists unformatted files; any output fails the target.
-# staticcheck runs when installed (CI installs it; offline dev boxes may
-# not have it, and must not fail for lack of a network).
+# leakbound-lint is the repo's own multichecker (determinism, ctxflow,
+# errwrap, telemetryscope, locks); `go run` needs no install step.
+# staticcheck runs when installed (CI installs the pinned 2024.1.1; offline
+# dev boxes may not have it, and must not fail for lack of a network).
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	$(GO) run ./cmd/leakbound-lint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+# govulncheck runs when installed; like staticcheck, a network-restricted
+# box (or fork CI) skips rather than fails. The CI job makes it blocking
+# only on pushes to main.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # The parallel-pipeline determinism suite under the race detector: the
@@ -51,6 +64,7 @@ smoke:
 	GO=$(GO) sh scripts/smoke_leakaged.sh
 
 # Replay the seed corpus of every fuzz target as plain tests (no fuzzing
-# time budget needed) — the regression net for the trace codec.
+# time budget needed) — the regression net for the trace codec and the
+# query parser.
 fuzz-regress:
-	$(GO) test -run=Fuzz ./internal/sim/trace/
+	$(GO) test -run=Fuzz ./internal/sim/trace/ ./internal/experiments/

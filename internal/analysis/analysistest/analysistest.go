@@ -1,0 +1,246 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want "regexp"`
+// comments — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the standard library so the module needs no dependencies.
+//
+// A fixture package lives at testdata/src/<import/path>/*.go. Imports of
+// other fixture packages are type-checked from source; every other import
+// resolves through compiler export data obtained from `go list -export`.
+// A line may carry one `// want` comment holding one or more quoted
+// regular expressions; each must match a distinct diagnostic reported on
+// that line, and diagnostics with no matching want fail the test.
+// `//lint:ignore` directives are honored exactly as the real runner
+// honors them, so fixtures can demonstrate suppression too.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"leakbound/internal/analysis"
+)
+
+// Run loads each fixture package beneath testdata/src, applies the
+// analyzer, and reports mismatches against the fixtures' want comments as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	imp := &fixtureImporter{
+		root:    filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*analysis.Package),
+		typed:   make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	for _, path := range pkgPaths {
+		pkg, err := imp.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on fixture %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, imp.fset, pkg, findings)
+	}
+}
+
+// want is one expected-diagnostic regexp and whether a finding claimed it.
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRx pulls the quoted regexps off a want comment: double-quoted Go
+// strings or backquoted raw strings, as in upstream analysistest.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants compares findings against the package's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRx.FindAllString(c.Text[idx+len("// want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.rx)
+			}
+		}
+	}
+}
+
+// fixtureImporter loads fixture packages from source and everything else
+// from gc export data, caching both.
+type fixtureImporter struct {
+	root    string // testdata/src
+	fset    *token.FileSet
+	pkgs    map[string]*analysis.Package
+	typed   map[string]*types.Package
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+}
+
+// Import implements types.Importer over the two-tier scheme.
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := imp.typed[path]; ok {
+		return p, nil
+	}
+	if dir := filepath.Join(imp.root, filepath.FromSlash(path)); isDir(dir) {
+		pkg, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if _, ok := imp.exports[path]; !ok {
+		if err := imp.listExports(path); err != nil {
+			return nil, err
+		}
+	}
+	if imp.gc == nil {
+		imp.gc = importer.ForCompiler(imp.fset, "gc", func(p string) (io.ReadCloser, error) {
+			exp, ok := imp.exports[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(exp)
+		})
+	}
+	p, err := imp.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	imp.typed[path] = p
+	return p, nil
+}
+
+// load parses and type-checks the fixture package at the import path.
+func (imp *fixtureImporter) load(path string) (*analysis.Package, error) {
+	if p, ok := imp.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(imp.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: parsing %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	typesPkg, err := conf.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %w", path, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath:   path,
+		Name:      files[0].Name.Name,
+		Fset:      imp.fset,
+		Syntax:    files,
+		Types:     typesPkg,
+		TypesInfo: info,
+	}
+	imp.pkgs[path] = pkg
+	imp.typed[path] = typesPkg
+	return pkg, nil
+}
+
+// listExports asks the go command for the export data of path and its
+// dependencies, merging the results into the cache.
+func (imp *fixtureImporter) listExports(path string) error {
+	cmd := exec.Command("go", "list", "-e", "-deps", "-json", "-export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("analysistest: go list %s: %w (stderr: %s)", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysistest: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

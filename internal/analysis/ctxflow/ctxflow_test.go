@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"leakbound/internal/analysis/analysistest"
+	"leakbound/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"example.com/internal/flow",
+		"example.com/internal/tool",
+	)
+}

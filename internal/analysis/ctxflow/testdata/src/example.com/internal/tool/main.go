@@ -1,0 +1,13 @@
+// Command tool is a main package: minting a background context at the
+// top of the process is exactly what main packages are for, so nothing
+// here is flagged even though the import path is internal.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

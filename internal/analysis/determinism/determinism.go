@@ -1,0 +1,227 @@
+// Package determinism flags nondeterminism hazards in the packages that
+// produce the paper's numbers. The oracle argument (Equations 1–3 and the
+// appendix optimality proof) is only checkable because every run of
+// Figure 7/8/Table 2 yields bit-identical energies; map iteration order,
+// wall-clock reads, and random sources are the three ways Go code
+// silently loses that property.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"leakbound/internal/analysis"
+)
+
+// Analyzer flags order- and clock-dependent constructs in result-producing
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration-order dependence, wall-clock reads, and random sources in result-producing packages",
+	Run:  run,
+}
+
+// resultPackages matches the packages whose outputs are the paper's
+// numbers; everything else (servers, CLIs, telemetry plumbing) may
+// legitimately read clocks.
+var resultPackages = regexp.MustCompile(`(^|/)internal/(leakage|interval|experiments|report|stats)$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !resultPackages.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		checkClockAndRand(pass, file)
+		checkMapPrints(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, file, rs)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkClockAndRand flags time.Now calls and any use of math/rand.
+func checkClockAndRand(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); analysis.IsPkgFunc(fn, "time", "Now") {
+				pass.Reportf(n.Pos(), "time.Now in result-producing package: wall clock must not influence results")
+			}
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(n.Pos(), "math/rand in result-producing package: randomness must not influence results")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapPrints flags map values handed directly to fmt's print family:
+// even though fmt has sorted map keys since Go 1.12, result output stays
+// canonical-by-construction (explicit sorted emission), never by fmt's
+// courtesy.
+func checkMapPrints(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !isPrintName(fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if t := pass.TypesInfo.TypeOf(arg); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(arg.Pos(), "map passed to fmt.%s: emit results in explicitly sorted order", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isPrintName(name string) bool {
+	for _, p := range []string{"Print", "Fprint", "Sprint"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags order-sensitive work inside a map-range body:
+// appends to slices that outlive the loop (unless the slice is sorted
+// afterwards), floating-point accumulation into outer variables (addition
+// is not associative), and output writes.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, file, rs, n)
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && isPrintName(fn.Name()) {
+					pass.Reportf(n.Pos(), "fmt.%s inside a map range: output depends on map iteration order", fn.Name())
+				} else if sig := fn.Type().(*types.Signature); sig.Recv() != nil && isWriteName(fn.Name()) {
+					pass.Reportf(n.Pos(), "%s call inside a map range: output depends on map iteration order", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isWriteName(name string) bool {
+	return name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune"
+}
+
+// checkRangeAssign handles the two assignment shapes inside a map range.
+func checkRangeAssign(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		for _, lhs := range as.Lhs {
+			obj := lhsObject(pass.TypesInfo, lhs)
+			if obj == nil || within(obj.Pos(), rs) {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s in map iteration order: float addition is not associative", obj.Name())
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(as.Lhs) {
+				continue
+			}
+			obj := lhsObject(pass.TypesInfo, as.Lhs[i])
+			if obj == nil || within(obj.Pos(), rs) {
+				continue
+			}
+			if sortedAfter(pass.TypesInfo, file, rs, obj) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "append to %s in map iteration order without a later sort", obj.Name())
+		}
+	}
+}
+
+// isBuiltinAppend matches a call to the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// lhsObject resolves the variable an assignment target refers to.
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning obj
+// appears after the range statement — the canonical collect-then-sort fix.
+func sortedAfter(info *types.Info, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,141 @@
+// Package errwrap enforces the repo's sentinel-error contract: errors
+// are chained with %w (never flattened to text with %v/%s) and matched
+// with errors.Is (never ==), so the exported sentinels
+// (interval.ErrOutOfOrder, experiments.ErrUnknownPolicy, ...) remain
+// matchable through every wrapping layer of the pipeline and the serving
+// stack's error-to-status mapping keeps working.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"leakbound/internal/analysis"
+)
+
+// Analyzer flags %v/%s interpolation of errors and == comparison against
+// sentinel errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flag fmt.Errorf error arguments formatted with %v/%s instead of %w, and ==/!= comparison against sentinel errors instead of errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorf aligns the verbs of a constant fmt.Errorf format string
+// with its arguments and flags error-typed arguments consumed by a
+// stringifying verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if !analysis.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := scanVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes; out of scope
+	}
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break // malformed call; go vet's printf check owns that
+		}
+		if v != 'v' && v != 's' && v != 'q' {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(args[i]); analysis.IsErrorType(t) {
+			pass.Reportf(args[i].Pos(), "error formatted with %%%c: use %%w so errors.Is/As can unwrap it", v)
+		}
+	}
+}
+
+// scanVerbs returns the argument-consuming verbs of a printf format
+// string in order, with '*' width/precision markers as pseudo-verbs. The
+// second result is false when the format uses explicit argument indexes,
+// which this analyzer does not model.
+func scanVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(rs) && rs[i] == '%' {
+			continue
+		}
+		// flags, width, precision — '*' consumes an argument of its own.
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(rs) {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkSentinelCompare flags ==/!= where either operand names a
+// package-level error variable (a sentinel like ErrUnknownPolicy or
+// io.EOF); errors.Is is the only comparison that survives wrapping.
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, operand := range []ast.Expr{be.X, be.Y} {
+		obj := referredVar(pass.TypesInfo, operand)
+		if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			continue
+		}
+		if analysis.IsErrorType(obj.Type()) {
+			pass.Reportf(be.Pos(), "%s compared with %s: use errors.Is so wrapped errors match", obj.Name(), be.Op)
+			return
+		}
+	}
+}
+
+// referredVar resolves an identifier or package-qualified selector to the
+// variable it names, or nil.
+func referredVar(info *types.Info, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

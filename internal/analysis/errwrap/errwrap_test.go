@@ -1,0 +1,38 @@
+package errwrap
+
+import (
+	"testing"
+
+	"leakbound/internal/analysis/analysistest"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "example.com/errwrap")
+}
+
+func TestScanVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		ok     bool
+	}{
+		{"plain", "", true},
+		{"%v and %w", "vw", true},
+		{"100%% done: %s", "s", true},
+		{"%+v %#v % d %05.2f", "vvdf", true},
+		{"%*d %w", "*dw", true},
+		{"%.*f", "*f", true},
+		{"%[1]s", "", false},
+		{"trailing %", "", true},
+	}
+	for _, c := range cases {
+		verbs, ok := scanVerbs(c.format)
+		if ok != c.ok {
+			t.Errorf("scanVerbs(%q) ok = %v, want %v", c.format, ok, c.ok)
+			continue
+		}
+		if got := string(verbs); ok && got != c.verbs {
+			t.Errorf("scanVerbs(%q) = %q, want %q", c.format, got, c.verbs)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package errwrap is the errwrap fixture: error interpolation and
+// sentinel comparison, both ways.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBase is a package-level sentinel.
+var ErrBase = errors.New("base")
+
+// FlattenV loses the chain with %v.
+func FlattenV(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `error formatted with %v: use %w`
+}
+
+// FlattenS loses the chain with %s.
+func FlattenS(err error) error {
+	return fmt.Errorf("op failed: %s", err) // want `error formatted with %s: use %w`
+}
+
+// FlattenQ loses the chain with %q.
+func FlattenQ(err error) error {
+	return fmt.Errorf("op failed: %q", err) // want `error formatted with %q: use %w`
+}
+
+// SecondArg checks verb/argument alignment: the string is fine, the
+// error is not.
+func SecondArg(name string, err error) error {
+	return fmt.Errorf("op %q: %v", name, err) // want `error formatted with %v: use %w`
+}
+
+// Wrap is the correct chain-preserving form.
+func Wrap(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// WrapBoth chains a sentinel and a cause; two %w verbs are fine.
+func WrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", ErrBase, err)
+}
+
+// NonError may use %v freely.
+func NonError(name string) error {
+	return fmt.Errorf("no such benchmark %v", name)
+}
+
+// Star keeps alignment across width arguments.
+func Star(width int, err error) error {
+	return fmt.Errorf("%*d trailing: %w", width, 7, err)
+}
+
+// EqSentinel compares identity, which breaks as soon as anyone wraps.
+func EqSentinel(err error) bool {
+	return err == ErrBase // want `ErrBase compared with ==: use errors.Is`
+}
+
+// NeqStdlib flags stdlib sentinels the same way.
+func NeqStdlib(err error) bool {
+	return err != io.EOF // want `EOF compared with !=: use errors.Is`
+}
+
+// NilCheck is fine: nil is not a sentinel variable.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Is is the correct matching form.
+func Is(err error) bool {
+	return errors.Is(err, ErrBase)
+}
+
+// LocalCompare is fine: both operands are locals, not sentinels.
+func LocalCompare(a, b error) bool {
+	return a == b
+}

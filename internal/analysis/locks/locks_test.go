@@ -1,0 +1,12 @@
+package locks_test
+
+import (
+	"testing"
+
+	"leakbound/internal/analysis/analysistest"
+	"leakbound/internal/analysis/locks"
+)
+
+func TestLocks(t *testing.T) {
+	analysistest.Run(t, "testdata", locks.Analyzer, "example.com/locks")
+}

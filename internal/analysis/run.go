@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported diagnostic after directive filtering, with its
+// position resolved for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by file, line, column, then analyzer name — the output
+// order is deterministic by construction, like everything else in this
+// repo. Diagnostics suppressed by a well-formed `//lint:ignore` directive
+// are dropped; malformed directives are themselves findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if dirs.suppresses(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// directivePrefix is the suppression marker: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses diagnostics from the named analyzers on the directive's own
+// line and on the line immediately below it (so it works both as an
+// end-of-line comment and as a comment above the offending statement).
+// The reason is mandatory: suppressions without a recorded justification
+// are treated as findings.
+const directivePrefix = "//lint:ignore "
+
+// directiveSet indexes suppressions by file and line.
+type directiveSet map[string]map[int][]string // file -> line -> analyzer names
+
+func (d directiveSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := d[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a package's comments for lint:ignore directives,
+// returning the suppression index and a finding per malformed directive.
+func collectDirectives(pkg *Package) (directiveSet, []Finding) {
+	dirs := make(directiveSet)
+	var bad []Finding
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "directives",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				lines := dirs[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					dirs[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], strings.Split(names, ",")...)
+			}
+		}
+	}
+	return dirs, bad
+}

@@ -1,0 +1,14 @@
+package telemetryscope_test
+
+import (
+	"testing"
+
+	"leakbound/internal/analysis/analysistest"
+	"leakbound/internal/analysis/telemetryscope"
+)
+
+func TestTelemetryscope(t *testing.T) {
+	analysistest.Run(t, "testdata", telemetryscope.Analyzer,
+		"example.com/internal/app",
+	)
+}

@@ -1,0 +1,62 @@
+// Package app is the telemetryscope fixture: a consumer of the telemetry
+// registry doing it right and wrong.
+package app
+
+import "example.com/internal/telemetry"
+
+// metricPrefix shows that constant expressions (not just literals) pass
+// the constant-name check.
+const metricPrefix = "app"
+
+// Worker caches metric pointers the way constructors should.
+type Worker struct {
+	done *telemetry.Counter
+	size *telemetry.Histogram
+}
+
+// New hoists every lookup onto the construction path.
+func New(r *telemetry.Registry) *Worker {
+	sc := r.Scope("app")
+	return &Worker{
+		done: sc.Counter("jobs_done"),
+		size: sc.Histogram(metricPrefix + ".batch_size"),
+	}
+}
+
+// Run uses the cached pointers in the hot loop: nothing to flag.
+func (w *Worker) Run(batches []int) {
+	for _, b := range batches {
+		w.size.Record(uint64(b))
+		w.done.Add(1)
+	}
+}
+
+// BadNames violates the naming convention two ways.
+func BadNames(r *telemetry.Registry) {
+	sc := r.Scope("App Metrics") // want `Scope name "App Metrics" violates the naming convention`
+	sc.Counter("Jobs-Done")      // want `Counter name "Jobs-Done" violates the naming convention`
+	sc.Gauge("queue.depth")      // dotted lowercase segments are fine
+	sc.Histogram("wait/ns")      // slashed segments too
+}
+
+// Interpolated builds a metric name at runtime: unbounded cardinality.
+func Interpolated(r *telemetry.Registry, job string) {
+	sc := r.Scope("app")
+	sc.Counter("done/" + job).Add(1) // want `Counter name must be a compile-time constant`
+}
+
+// InLoop looks the metric up once per iteration instead of hoisting it.
+func InLoop(r *telemetry.Registry, batches []int) {
+	sc := r.Scope("app")
+	for range batches {
+		sc.Counter("jobs_done").Add(1) // want `Counter lookup inside a loop`
+	}
+}
+
+// SuppressedInterpolation shows the escape hatch with a recorded reason.
+func SuppressedInterpolation(r *telemetry.Registry, shard int) {
+	sc := r.Scope("app")
+	names := []string{"a", "b"}
+	//lint:ignore telemetryscope fixture: shard names are a closed two-element set
+	sc.Counter("shard/" + names[shard%2]).Add(1)
+}

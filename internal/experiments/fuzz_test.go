@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"leakbound/internal/power"
+)
+
+// FuzzParsePolicy throws arbitrary query spellings at the policy parser:
+// it must never panic, every failure must be matchable as
+// ErrUnknownPolicy (the serving layer maps that sentinel to a 400), and
+// parsing must be deterministic — the same spec yields the same policy.
+func FuzzParsePolicy(f *testing.F) {
+	for _, name := range PolicyNames() {
+		f.Add(name)
+		f.Add(name + "@5088")
+	}
+	f.Add("")
+	f.Add("  Opt-Sleep@2048  ")
+	f.Add("opt-sleep@")
+	f.Add("opt-sleep@-1")
+	f.Add("opt-sleep@18446744073709551615")
+	f.Add("opt-sleep@18446744073709551616") // one past MaxUint64
+	f.Add("opt-hybrid@0")
+	f.Add("periodic-drowsy@")
+	f.Add("bogus@@3")
+	f.Add("@123")
+	f.Add("opt-sleep@0x10")
+	f.Add("active@1@2")
+
+	tech := power.Default()
+	f.Fuzz(func(t *testing.T, spec string) {
+		pol, err := ParsePolicy(spec, tech)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownPolicy) {
+				t.Fatalf("ParsePolicy(%q) error %v is not matchable as ErrUnknownPolicy", spec, err)
+			}
+			return
+		}
+		if pol == nil || pol.Name() == "" {
+			t.Fatalf("ParsePolicy(%q) succeeded with an unusable policy %#v", spec, pol)
+		}
+		// Deterministic: a second parse of the same spec produces the same
+		// policy.
+		again, err := ParsePolicy(spec, tech)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) second parse failed: %v", spec, err)
+		}
+		if again.Name() != pol.Name() {
+			t.Fatalf("ParsePolicy(%q) is nondeterministic: %q then %q", spec, pol.Name(), again.Name())
+		}
+		// Canonical spellings are case- and whitespace-insensitive.
+		folded, err := ParsePolicy(strings.ToUpper(" "+spec+" "), tech)
+		if err != nil || folded.Name() != pol.Name() {
+			t.Fatalf("ParsePolicy(%q) not case/space-insensitive: %v %v", spec, folded, err)
+		}
+	})
+}

@@ -52,7 +52,7 @@ func ParsePolicy(spec string, tech power.Technology) (leakage.Policy, error) {
 	if at := strings.IndexByte(name, '@'); at >= 0 {
 		v, err := strconv.ParseUint(name[at+1:], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad theta in %q: %v", ErrUnknownPolicy, spec, err)
+			return nil, fmt.Errorf("%w: bad theta in %q: %w", ErrUnknownPolicy, spec, err)
 		}
 		theta, name = v, name[:at]
 	}
@@ -120,7 +120,7 @@ func ParseTechnology(name string) (power.Technology, error) {
 	}
 	t, err := power.TechnologyByName(strings.TrimSpace(name))
 	if err != nil {
-		return power.Technology{}, fmt.Errorf("%w: %v", ErrUnknownTechnology, err)
+		return power.Technology{}, fmt.Errorf("%w: %w", ErrUnknownTechnology, err)
 	}
 	return t, nil
 }

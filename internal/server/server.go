@@ -123,6 +123,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	//lint:ignore ctxflow the server's base context is the lifecycle root every request context merges into; it is detached from any caller by design
 	base, cancel := context.WithCancel(context.Background())
 	sc := cfg.Registry.Scope("server")
 	s := &Server{
@@ -175,6 +176,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.draining.Store(true)
 	s.scope.Counter("drains").Add(1)
 	start := time.Now()
+	//lint:ignore ctxflow graceful drain must outlive every caller context; it is bounded by DrainTimeout instead
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := srv.Shutdown(shCtx)
