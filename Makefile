@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vulncheck bench cover test-parallel smoke fuzz-regress
+.PHONY: build test race lint vulncheck bench bench-json bench-gate cover test-parallel smoke fuzz-regress
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,22 @@ test-parallel:
 # bench_test.go compiling and running (the nightly CI job runs this).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Freeze the core end-to-end benchmarks into BENCH_<date>[_label].json at
+# the repo root (see scripts/bench_snapshot.sh for the selection and the
+# BENCH/BENCHTIME/COUNT knobs). `make bench-json LABEL=r2-streaming`.
+bench-json:
+	GO=$(GO) sh scripts/bench_snapshot.sh $(LABEL)
+
+# Run the same benchmark set and gate it against the newest committed
+# BENCH_*.json: allocs/op regressions always fail; ns/op regressions
+# >20% fail only when the baseline came from the same CPU model (timing
+# across different machines is advisory). GATE_FLAGS=-warn-only to
+# report without failing; GATE_FLAGS+='-summary $$GITHUB_STEP_SUMMARY'
+# in CI to publish the comparison table.
+bench-gate:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1)$$' \
+		-benchmem -benchtime 1x -count 3 . | $(GO) run ./cmd/benchsnap -compare . $(GATE_FLAGS)
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

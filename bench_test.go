@@ -27,16 +27,32 @@ var (
 	suite     *experiments.Suite
 )
 
-// sharedSuite simulates all six benchmarks once per `go test` process.
+// sharedSuite simulates all six benchmarks once per `go test` process,
+// through the context-aware API so the cancellation-checking path is what
+// every downstream bench measures.
 func sharedSuite(b *testing.B) *experiments.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suite = experiments.MustNewSuite(benchScale)
-		if _, err := suite.All(); err != nil {
+		suite = experiments.MustNew(experiments.WithScale(benchScale))
+		if _, err := suite.AllContext(context.Background()); err != nil {
 			panic(err)
 		}
 	})
 	return suite
+}
+
+// BenchmarkSuiteAll is the repo's headline end-to-end number: simulate all
+// six benchmarks from scratch (generator -> CPU sim -> interval collection)
+// at benchScale. The committed BENCH_*.json snapshots track this benchmark;
+// the streaming-pipeline speedup claim is made against it.
+func BenchmarkSuiteAll(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		s := experiments.MustNew(experiments.WithScale(benchScale))
+		if _, err := s.AllContext(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkFigure1_ITRSProjection(b *testing.B) {
@@ -155,9 +171,10 @@ func BenchmarkTable3_PrefetchRules(b *testing.B) {
 // interval distributions (simulation + classification + collection).
 
 func BenchmarkPipelineSimulateGzip(b *testing.B) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		s := experiments.MustNewSuite(0.05)
-		if _, err := s.Data("gzip"); err != nil {
+		s := experiments.MustNew(experiments.WithScale(0.05))
+		if _, err := s.DataContext(ctx, "gzip"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,9 +185,10 @@ func BenchmarkPipelineSimulateGzip(b *testing.B) {
 // BenchmarkPipelineSimulateGzip for the intra-benchmark speedup (on a
 // multi-core host; on one core the inline path above wins).
 func BenchmarkPipelineSimulateGzipSharded(b *testing.B) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		s := experiments.MustNew(experiments.WithScale(0.05), experiments.WithWorkers(4))
-		if _, err := s.Data("gzip"); err != nil {
+		if _, err := s.DataContext(ctx, "gzip"); err != nil {
 			b.Fatal(err)
 		}
 	}

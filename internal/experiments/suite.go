@@ -11,14 +11,18 @@
 // distributions, exactly as the limit study separates trace collection from
 // policy analysis.
 //
-// The pipeline is parallel at two levels, both governed by WithWorkers:
-// benchmarks fan out across a bounded pool (AllContext), and within one
-// benchmark the interval collection is sharded by cache frame across SPSC
-// queues (interval.ShardedCollector). Parallel results are bit-identical
-// to the sequential path, so shard and worker counts are pure performance
-// knobs. Long sweeps are cancellable: every entry point has a
-// ...Context variant that returns ctx.Err() promptly, flushing partial
-// telemetry on the way out.
+// Simulation is a single streaming pass: the workload generator feeds the
+// CPU model, which feeds the interval collectors and prefetch engines
+// through reused struct-of-arrays batches (internal/sim/stream) — no
+// intermediate trace is ever materialized. The pipeline is parallel at two
+// levels, both governed by WithWorkers: benchmarks fan out across a
+// bounded pool (AllContext), and within one benchmark the batches can be
+// shipped over an SPSC ring to frame-sharded collectors
+// (interval.ShardedCollector). Parallel results are bit-identical to the
+// sequential path, so shard and worker counts are pure performance knobs.
+// Long sweeps are cancellable: every entry point has a ...Context variant
+// that returns ctx.Err() promptly, flushing partial telemetry on the way
+// out.
 package experiments
 
 import (
@@ -32,6 +36,7 @@ import (
 	"leakbound/internal/prefetch"
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/cpu"
+	"leakbound/internal/sim/stream"
 	"leakbound/internal/sim/trace"
 	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
@@ -218,9 +223,14 @@ func (s *Suite) AllContext(ctx context.Context) ([]*BenchmarkData, error) {
 }
 
 // simulate runs one benchmark through the paper's machine configuration
-// and collects flagged interval distributions for all three caches, with
-// the per-cache collection sharded across `shards` workers (1 = in-line
-// sequential collection; the output is bit-identical either way).
+// and collects flagged interval distributions for all three caches in a
+// single streaming pass: the generator feeds the CPU model, which feeds
+// the collectors through reused struct-of-arrays batches, and no
+// intermediate trace is ever materialized. shards selects the collection
+// topology — <=1 collects in-line on the simulation goroutine (the
+// single-core fast path), >1 ships batches through an SPSC ring to a
+// consumer that fans events out to frame-sharded collectors. The outputs
+// are bit-identical either way.
 func simulate(ctx context.Context, name string, scale float64, shards int) (*BenchmarkData, error) {
 	w, err := workload.New(name, scale)
 	if err != nil {
@@ -238,21 +248,6 @@ func simulate(ctx context.Context, name string, scale float64, shards int) (*Ben
 	if err != nil {
 		return nil, err
 	}
-	iCol, err := interval.NewShardedCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass, shards)
-	if err != nil {
-		return nil, err
-	}
-	defer iCol.Close()
-	dCol, err := interval.NewShardedCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass, shards)
-	if err != nil {
-		return nil, err
-	}
-	defer dCol.Close()
-	l2Col, err := interval.NewShardedCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil, shards)
-	if err != nil {
-		return nil, err
-	}
-	defer l2Col.Close()
 	iEng, err := prefetch.NewEngine(prefetch.DefaultEngineConfig(prefetch.ForICache()))
 	if err != nil {
 		return nil, err
@@ -261,34 +256,21 @@ func simulate(ctx context.Context, name string, scale float64, shards int) (*Ben
 	if err != nil {
 		return nil, err
 	}
-	// sinkErr needs no synchronization: cpu.RunContext's documented
-	// contract is that the sink runs synchronously on this goroutine and
-	// never after it returns. The sharded collectors' Add is likewise a
-	// producer-side call; only their internal shard workers run elsewhere.
-	// On cancellation the deferred Close calls release those workers and
-	// flush partial telemetry (TestAllContextCancelNoLeak exercises this).
-	var sinkErr error
-	res, err := cpu.RunContext(ctx, w, hier, cpu.DefaultConfig(), func(e trace.Event) {
-		if sinkErr != nil {
-			return
-		}
-		switch e.Cache {
-		case trace.L1I:
-			sinkErr = iCol.Add(e)
-			iEng.Access(e)
-		case trace.L1D:
-			sinkErr = dCol.Add(e)
-			dEng.Access(e)
-		case trace.L2:
-			sinkErr = l2Col.Add(e)
-		}
-	})
-	if err != nil {
-		return nil, err
+	if shards <= 1 {
+		return simulateInline(ctx, name, w, hier, iClass, dClass, iEng, dEng)
 	}
-	if sinkErr != nil {
-		return nil, fmt.Errorf("experiments: collecting %s: %w", name, sinkErr)
-	}
+	return simulateRing(ctx, name, w, hier, iClass, dClass, iEng, dEng, shards)
+}
+
+// finisher closes a collector at the simulation horizon; satisfied by both
+// interval.Collector and interval.ShardedCollector.
+type finisher interface {
+	Finish(totalCycles uint64) (*interval.Distribution, error)
+}
+
+// finishData closes the three collectors and both engines into a
+// BenchmarkData.
+func finishData(name string, res cpu.Result, iCol, dCol, l2Col finisher, iEng, dEng *prefetch.Engine) (*BenchmarkData, error) {
 	iDist, err := iCol.Finish(res.Cycles)
 	if err != nil {
 		return nil, err
@@ -306,6 +288,132 @@ func simulate(ctx context.Context, name string, scale float64, shards int) (*Ben
 		ICache: iDist, DCache: dDist, L2Cache: l2Dist,
 		IEngine: iEng.Finish(), DEngine: dEng.Finish(),
 	}, nil
+}
+
+// simulateInline is the single-goroutine streaming path: the CPU model
+// hands each full batch straight to the collectors and engines on the
+// same goroutine, so the whole pipeline shares one batch buffer and the
+// per-event cost is a handful of column reads.
+func simulateInline(ctx context.Context, name string, w workload.Workload, hier *cache.Hierarchy,
+	iClass, dClass *prefetch.Classifier, iEng, dEng *prefetch.Engine) (*BenchmarkData, error) {
+	iCol, err := interval.NewCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass)
+	if err != nil {
+		return nil, err
+	}
+	dCol, err := interval.NewCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass)
+	if err != nil {
+		return nil, err
+	}
+	l2Col, err := interval.NewCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil)
+	if err != nil {
+		return nil, err
+	}
+	// The engines run right behind the classifiers on the same event
+	// stream, so they can read the classifiers' stride tables instead of
+	// maintaining bit-identical copies.
+	if err := iEng.ShareStrides(iClass); err != nil {
+		return nil, err
+	}
+	if err := dEng.ShareStrides(dClass); err != nil {
+		return nil, err
+	}
+	// One fused pass per batch: each event's columns are loaded once and
+	// dispatched to its cache's collector and engine together, instead of
+	// five separate filtered scans over the same batch.
+	res, err := cpu.RunStreamContext(ctx, w, hier, cpu.DefaultConfig(), func(b *stream.Batch) error {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			cycle, lineAddr, pc := b.Cycles[i], b.LineAddrs[i], b.PCs[i]
+			frame, kind, miss := b.Frames[i], b.Kinds[i], b.Misses[i]
+			switch b.Caches[i] {
+			case trace.L1I:
+				if err := iCol.AddCols(cycle, lineAddr, pc, frame, trace.L1I, kind, miss); err != nil {
+					return err
+				}
+				iEng.AccessCols(cycle, lineAddr, pc, kind, miss)
+			case trace.L1D:
+				if err := dCol.AddCols(cycle, lineAddr, pc, frame, trace.L1D, kind, miss); err != nil {
+					return err
+				}
+				dEng.AccessCols(cycle, lineAddr, pc, kind, miss)
+			case trace.L2:
+				if err := l2Col.AddCols(cycle, lineAddr, pc, frame, trace.L2, kind, miss); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finishData(name, res, iCol, dCol, l2Col, iEng, dEng)
+}
+
+// simulateRing is the decoupled streaming path for shards > 1: batches
+// travel through an SPSC ring to a consumer goroutine, which fans events
+// out to frame-sharded collectors (producer-side classification happens on
+// the consumer, where global stream order is still visible). On
+// cancellation the deferred Close calls release the shard workers and
+// flush partial telemetry (TestAllContextCancelNoLeak exercises this).
+func simulateRing(ctx context.Context, name string, w workload.Workload, hier *cache.Hierarchy,
+	iClass, dClass *prefetch.Classifier, iEng, dEng *prefetch.Engine, shards int) (*BenchmarkData, error) {
+	iCol, err := interval.NewShardedCollector(trace.L1I, uint32(hier.L1I().Config().NumLines()), iClass, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer iCol.Close()
+	dCol, err := interval.NewShardedCollector(trace.L1D, uint32(hier.L1D().Config().NumLines()), dClass, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer dCol.Close()
+	l2Col, err := interval.NewShardedCollector(trace.L2, uint32(hier.L2().Config().NumLines()), nil, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer l2Col.Close()
+
+	ring := stream.NewRing(4, stream.DefaultBatchEvents)
+	var consumeErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consumeErr = ring.Consume(func(b *stream.Batch) error {
+			for i, n := 0, b.Len(); i < n; i++ {
+				e := b.Event(i)
+				switch e.Cache {
+				case trace.L1I:
+					if err := iCol.Add(e); err != nil {
+						return err
+					}
+					iEng.Access(e)
+				case trace.L1D:
+					if err := dCol.Add(e); err != nil {
+						return err
+					}
+					dEng.Access(e)
+				case trace.L2:
+					if err := l2Col.Add(e); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}()
+	res, err := cpu.RunRingContext(ctx, w, hier, cpu.DefaultConfig(), ring)
+	// RunRingContext closes the ring on every exit path, so the consumer
+	// always drains and terminates; wait for it before touching collector
+	// or engine state.
+	<-done
+	if err != nil {
+		return nil, err
+	}
+	if consumeErr != nil {
+		return nil, fmt.Errorf("experiments: collecting %s: %w", name, consumeErr)
+	}
+	return finishData(name, res, iCol, dCol, l2Col, iEng, dEng)
 }
 
 // MergedDistributions returns suite-wide merged I- and D-cache

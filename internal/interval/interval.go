@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"leakbound/internal/sim/stream"
 	"leakbound/internal/sim/trace"
 	"leakbound/internal/telemetry"
 )
@@ -110,14 +111,27 @@ type Key struct {
 }
 
 // Distribution is a multiset of intervals, compactly stored as counts per
-// (length, flags). Short lengths — the overwhelming majority — live in a
-// dense table; the long tail in a map.
+// (length, flags). Short lengths — the overwhelming majority — live in
+// dense per-flag rows, allocated lazily the first time a flag combination
+// appears (a real run uses a dozen of the 64 combinations, so the old
+// always-allocated 8192x64 table wasted both the 4MB zeroing and the
+// cache locality); the long tail lives in an open-addressed sparse table.
 type Distribution struct {
 	NumFrames   uint32
 	TotalCycles uint64
 
-	dense  []uint64 // index = length*flagSpace + flags, for length < denseLimit
-	sparse map[Key]uint64
+	rows    [flagSpace][]uint64 // rows[flags][length] for length < denseLimit; nil until used
+	maxLen  [flagSpace]uint32   // highest populated length per row, bounds iteration
+	present []uint8             // flags with non-nil rows, ascending
+
+	// tail holds the long buckets (length >= denseLimit) as an append log
+	// of packed (length<<6|flags, count) pairs, sorted and merged lazily by
+	// compact. Long interval lengths are nearly all distinct, so a hash
+	// table buys no dedup during collection and costs a cache-missing probe
+	// per Add plus rehash churn; appending is a sequential store, and the
+	// one sort at read time replaces the sort Each needed anyway.
+	tail      []tailBucket
+	tailClean int // len(tail) when last compacted; == len(tail) means sorted+merged
 
 	numIntervals uint64 // total recorded intervals (all kinds)
 	mass         uint64 // sum of length*count
@@ -128,15 +142,63 @@ const (
 	flagSpace  = 64 // nl|stride|leading|trailing|dirty|deadend fit in 6 bits
 )
 
+// tailBucket is one long bucket: key = length<<6 | flags, so numeric key
+// order IS (length, flags) order.
+type tailBucket struct{ key, count uint64 }
+
+// compact sorts the tail log and merges duplicate keys, making it a
+// deterministic ascending bucket list. Idempotent and cheap when nothing
+// was appended since the last call.
+func (d *Distribution) compact() {
+	if d.tailClean == len(d.tail) {
+		return
+	}
+	sort.Slice(d.tail, func(i, j int) bool { return d.tail[i].key < d.tail[j].key })
+	out := d.tail[:0]
+	for _, b := range d.tail {
+		if n := len(out); n > 0 && out[n-1].key == b.key {
+			out[n-1].count += b.count
+			continue
+		}
+		out = append(out, b)
+	}
+	d.tail = out
+	d.tailClean = len(out)
+}
+
 // NewDistribution creates an empty distribution for a cache with the given
 // frame count and time horizon.
 func NewDistribution(numFrames uint32, totalCycles uint64) *Distribution {
 	return &Distribution{
 		NumFrames:   numFrames,
 		TotalCycles: totalCycles,
-		dense:       make([]uint64, denseLimit*flagSpace),
-		sparse:      make(map[Key]uint64),
 	}
+}
+
+// row returns the dense row for flags, sized to index need, growing it
+// geometrically. Rows start small and double as longer intervals appear:
+// most flag combinations only ever see short intervals, and keeping their
+// rows at a few cache lines (instead of an eager 64KB each) is what keeps
+// the per-event row[length] increment resident in cache.
+func (d *Distribution) row(flags Flags, need uint64) []uint64 {
+	r := d.rows[flags]
+	if r == nil {
+		i := sort.Search(len(d.present), func(i int) bool { return d.present[i] >= uint8(flags) })
+		d.present = append(d.present, 0)
+		copy(d.present[i+1:], d.present[i:])
+		d.present[i] = uint8(flags)
+	}
+	size := uint64(64)
+	for size <= need {
+		size *= 2
+	}
+	if size > denseLimit {
+		size = denseLimit
+	}
+	grown := make([]uint64, size)
+	copy(grown, r)
+	d.rows[flags] = grown
+	return grown
 }
 
 // Add records count intervals of the given length and flags.
@@ -147,10 +209,17 @@ func (d *Distribution) Add(length uint64, flags Flags, count uint64) {
 	d.numIntervals += count
 	d.mass += length * count
 	if length < denseLimit {
-		d.dense[length*flagSpace+uint64(flags)] += count
+		row := d.rows[flags]
+		if uint64(len(row)) <= length {
+			row = d.row(flags, length)
+		}
+		row[length] += count
+		if uint32(length) > d.maxLen[flags] {
+			d.maxLen[flags] = uint32(length)
+		}
 		return
 	}
-	d.sparse[Key{Length: length, Flags: flags}] += count
+	d.tail = append(d.tail, tailBucket{length<<6 | uint64(flags), count})
 }
 
 // NumIntervals returns the number of recorded intervals.
@@ -164,28 +233,27 @@ func (d *Distribution) Mass() uint64 { return d.mass }
 // order (ascending length, then flags). Iteration stops if fn returns
 // false.
 func (d *Distribution) Each(fn func(length uint64, flags Flags, count uint64) bool) {
-	for length := uint64(1); length < denseLimit; length++ {
-		base := length * flagSpace
-		for f := uint64(0); f < flagSpace; f++ {
-			if c := d.dense[base+f]; c > 0 {
+	var max uint64
+	for _, f := range d.present {
+		if l := uint64(d.maxLen[f]); l > max {
+			max = l
+		}
+	}
+	for length := uint64(1); length <= max; length++ {
+		for _, f := range d.present {
+			if uint32(length) > d.maxLen[f] {
+				continue
+			}
+			if c := d.rows[f][length]; c > 0 {
 				if !fn(length, Flags(f), c) {
 					return
 				}
 			}
 		}
 	}
-	keys := make([]Key, 0, len(d.sparse))
-	for k := range d.sparse {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Length != keys[j].Length {
-			return keys[i].Length < keys[j].Length
-		}
-		return keys[i].Flags < keys[j].Flags
-	})
-	for _, k := range keys {
-		if !fn(k.Length, k.Flags, d.sparse[k]) {
+	d.compact()
+	for _, b := range d.tail {
+		if !fn(b.key>>6, Flags(b.key&(flagSpace-1)), b.count) {
 			return
 		}
 	}
@@ -198,6 +266,9 @@ func (d *Distribution) Each(fn func(length uint64, flags Flags, count uint64) bo
 // counts and mass are all additive) and aggregating benchmarks for
 // suite-wide views. Time horizons are maxed so the conservation invariant
 // (Mass == NumFrames x TotalCycles) survives merging same-horizon shards.
+//
+// Merge adds rows directly rather than iterating buckets through Each, so
+// folding a shard in costs a few row sweeps, not a full ordered walk.
 func (d *Distribution) Merge(other *Distribution) error {
 	if other == nil {
 		return fmt.Errorf("%w: merge operand", ErrNilDistribution)
@@ -206,10 +277,23 @@ func (d *Distribution) Merge(other *Distribution) error {
 	if d.TotalCycles < other.TotalCycles {
 		d.TotalCycles = other.TotalCycles
 	}
-	other.Each(func(length uint64, flags Flags, count uint64) bool {
-		d.Add(length, flags, count)
-		return true
-	})
+	for _, f := range other.present {
+		src := other.rows[f]
+		n := uint64(other.maxLen[f])
+		dst := d.rows[f]
+		if uint64(len(dst)) <= n {
+			dst = d.row(Flags(f), n)
+		}
+		for l := uint64(1); l <= n; l++ {
+			dst[l] += src[l]
+		}
+		if other.maxLen[f] > d.maxLen[f] {
+			d.maxLen[f] = other.maxLen[f]
+		}
+	}
+	d.tail = append(d.tail, other.tail...)
+	d.numIntervals += other.numIntervals
+	d.mass += other.mass
 	return nil
 }
 
@@ -249,11 +333,22 @@ type Classifier interface {
 	Observe(e trace.Event)
 }
 
+// StreamClassifier is the fused fast path for classifiers that can flag and
+// observe one access in a single call against stream columns, avoiding a
+// trace.Event round-trip per access. When closing is true the returned
+// flags must be computed against the table state as of *before* this
+// access's observation — exactly what Classify-then-Observe would yield.
+type StreamClassifier interface {
+	Classifier
+	ClassifyObserve(cycle, lineAddr, pc uint64, kind trace.Kind, start uint64, closing bool) Flags
+}
+
 // Collector builds a Distribution from a timed access stream for one cache.
 type Collector struct {
 	cache      trace.CacheID
 	numFrames  uint32
 	classifier Classifier
+	streamCl   StreamClassifier // non-nil when classifier supports the fused path
 
 	lastAccess []uint64 // per frame; access cycle + 1 (0 = never accessed)
 	dirty      []bool   // per frame; true if the resident block is modified
@@ -272,10 +367,12 @@ func NewCollector(cacheID trace.CacheID, numFrames uint32, classifier Classifier
 	if numFrames == 0 {
 		return nil, errors.New("interval: zero frames")
 	}
+	streamCl, _ := classifier.(StreamClassifier)
 	return &Collector{
 		cache:      cacheID,
 		numFrames:  numFrames,
 		classifier: classifier,
+		streamCl:   streamCl,
 		lastAccess: make([]uint64, numFrames),
 		dirty:      make([]bool, numFrames),
 		dist:       NewDistribution(numFrames, 0),
@@ -349,6 +446,103 @@ func (c *Collector) add(e trace.Event, pre Flags, classify bool) error {
 		c.dirty[e.Frame] = e.Kind == trace.Store
 	case e.Kind == trace.Store:
 		c.dirty[e.Frame] = true
+	}
+	return nil
+}
+
+// AddBatch consumes one column batch from the streaming pipeline. It is
+// equivalent to calling Add for each event in batch order, but skips the
+// trace.Event materialization on the hot path. Events for other caches are
+// ignored, as in Add.
+func (c *Collector) AddBatch(b *stream.Batch) error {
+	if c.finished {
+		return fmt.Errorf("%w: Add after Finish", ErrFinished)
+	}
+	if c.classifier != nil && c.streamCl == nil {
+		// Classifier without a fused fast path: fall back to event form so
+		// Classify/Observe see exactly what Add would hand them.
+		for i, n := 0, b.Len(); i < n; i++ {
+			if err := c.add(b.Event(i), 0, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if b.Caches[i] != c.cache {
+			continue
+		}
+		if err := c.addCols(b.Cycles[i], b.LineAddrs[i], b.PCs[i], b.Frames[i], b.Kinds[i], b.Misses[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddCols is Add by columns — one event, no trace.Event box. Events for
+// other caches are ignored, as in Add.
+func (c *Collector) AddCols(cycle, lineAddr, pc uint64, frame uint32, cacheID trace.CacheID, kind trace.Kind, miss bool) error {
+	if cacheID != c.cache {
+		return nil
+	}
+	if c.finished {
+		return fmt.Errorf("%w: Add after Finish", ErrFinished)
+	}
+	if c.classifier != nil && c.streamCl == nil {
+		return c.add(trace.Event{
+			Cycle: cycle, LineAddr: lineAddr, Frame: frame, PC: pc,
+			Cache: cacheID, Kind: kind, Miss: miss,
+		}, 0, true)
+	}
+	return c.addCols(cycle, lineAddr, pc, frame, kind, miss)
+}
+
+// addCols is the column-form collection core; the caller has already
+// routed the event to this collector's cache and checked finished.
+func (c *Collector) addCols(cycle, lineAddr, pc uint64, frame uint32, kind trace.Kind, miss bool) error {
+	if frame >= c.numFrames {
+		return fmt.Errorf("%w: frame %d (have %d)", ErrFrameRange, frame, c.numFrames)
+	}
+	if cycle < c.lastCycle {
+		return fmt.Errorf("%w: cycle %d before %d", ErrOutOfOrder, cycle, c.lastCycle)
+	}
+	c.lastCycle = cycle
+	c.events++
+
+	prev := c.lastAccess[frame]
+	if prev == 0 {
+		// First access: the leading gap runs from cycle 0.
+		if cycle > 0 {
+			c.dist.Add(cycle, Leading, 1)
+		}
+		if c.streamCl != nil {
+			c.streamCl.ClassifyObserve(cycle, lineAddr, pc, kind, 0, false)
+		}
+	} else {
+		start := prev - 1
+		length := cycle - start
+		var flags Flags
+		if c.streamCl != nil {
+			flags = c.streamCl.ClassifyObserve(cycle, lineAddr, pc, kind, start, length > 0) &
+				(NLPrefetchable | StridePrefetchable)
+		}
+		if length > 0 {
+			if c.dirty[frame] {
+				flags |= Dirty
+			}
+			if miss {
+				flags |= DeadEnd
+			}
+			c.dist.Add(length, flags, 1)
+		}
+	}
+	c.lastAccess[frame] = cycle + 1
+	switch {
+	case miss:
+		c.dirty[frame] = kind == trace.Store
+	case kind == trace.Store:
+		c.dirty[frame] = true
 	}
 	return nil
 }

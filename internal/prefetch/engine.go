@@ -17,8 +17,10 @@ package prefetch
 import (
 	"fmt"
 
+	"leakbound/internal/sim/stream"
 	"leakbound/internal/sim/trace"
 	"leakbound/internal/telemetry"
+	"leakbound/internal/u64map"
 )
 
 // EngineConfig controls the prefetch engine.
@@ -84,19 +86,28 @@ func (s EngineStats) Coverage() float64 {
 	return float64(s.CoveredMisses) / float64(s.DemandMisses)
 }
 
-// inflight tracks one outstanding prefetch.
-type inflight struct {
-	issuedAt uint64
-}
-
 // Engine is the prefetcher; feed it the demand access stream of one cache
-// in cycle order via Access, then read Stats.
+// in cycle order via Access (or AccessBatch on the streaming path), then
+// read Stats. The in-flight and stride tables are flat u64map tables; an
+// in-flight entry stores issuedAt+1 so a fresh Upsert slot (zero) is
+// distinguishable from a live record in a single probe.
 type Engine struct {
-	cfg      EngineConfig
-	inflight map[uint64]inflight // lineAddr -> issue record
-	strides  map[uint64]*strideEntry
-	lastLine uint64
-	haveLast bool
+	cfg EngineConfig
+	// inflight maps lineAddr -> issue cycle + 1. Retired prefetches are
+	// zeroed in place rather than deleted: tombstone churn on a small
+	// table forces a compacting rehash (and its allocations) every few
+	// retirements, whereas zeroed slots are simply reused by the next
+	// issue to the same line. Paged storage: next-line issues land one
+	// line past the demand stream, so the one-page memo absorbs almost
+	// every probe.
+	inflight  u64map.Pages
+	inflightN int // live (non-zero) in-flight entries
+	strides   u64map.Map[strideEntry]
+	// shared, when set, replaces the engine's own stride table with the
+	// classifier's (see ShareStrides): the engine reads the classifier's
+	// published post-observation prediction instead of probing and
+	// updating a duplicate table.
+	shared   *Classifier
 	stats    EngineStats
 	lastSeen uint64
 }
@@ -106,11 +117,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		cfg:      cfg,
-		inflight: make(map[uint64]inflight),
-		strides:  make(map[uint64]*strideEntry),
-	}, nil
+	return &Engine{cfg: cfg}, nil
 }
 
 // MustNewEngine panics on bad configuration.
@@ -122,18 +129,55 @@ func MustNewEngine(cfg EngineConfig) *Engine {
 	return e
 }
 
+// ShareStrides makes the engine read stride predictions from c's table
+// instead of maintaining its own copy. Fed the same event stream, an engine
+// and a classifier with the same predictor Config evolve bit-identical
+// stride tables — the duplicate probe and update per data access is pure
+// waste. The caller must deliver every access to c (via the collector's
+// Classify/Observe path) before the corresponding Access on the engine,
+// which is exactly the order the streaming sink dispatches in.
+func (e *Engine) ShareStrides(c *Classifier) error {
+	if c == nil {
+		return fmt.Errorf("prefetch: nil classifier")
+	}
+	if e.cfg.Config != c.cfg {
+		return fmt.Errorf("prefetch: predictor config mismatch: engine %+v, classifier %+v", e.cfg.Config, c.cfg)
+	}
+	if e.strides.Len() > 0 {
+		return fmt.Errorf("prefetch: engine already has stride state")
+	}
+	e.shared = c
+	return nil
+}
+
 // Access feeds one demand access. Returns the number of prefetches issued
 // in response (useful mainly for tests).
 func (e *Engine) Access(ev trace.Event) int {
+	return e.AccessCols(ev.Cycle, ev.LineAddr, ev.PC, ev.Kind, ev.Miss)
+}
+
+// AccessBatch feeds every event for the given cache from a column batch,
+// equivalent to calling Access per event but without materializing them.
+func (e *Engine) AccessBatch(b *stream.Batch, cache trace.CacheID) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		if b.Caches[i] == cache {
+			e.AccessCols(b.Cycles[i], b.LineAddrs[i], b.PCs[i], b.Kinds[i], b.Misses[i])
+		}
+	}
+}
+
+// AccessCols is Access by columns — one demand access, no trace.Event box.
+// The caller routes events: unlike AccessBatch there is no cache filter.
+func (e *Engine) AccessCols(cycle, lineAddr, pc uint64, kind trace.Kind, miss bool) int {
 	e.stats.DemandAccesses++
-	e.expire(ev.Cycle)
+	e.expire(cycle)
 
 	// Demand lookup against in-flight prefetches.
-	if rec, ok := e.inflight[ev.LineAddr]; ok {
-		age := ev.Cycle - rec.issuedAt
+	if rec := e.inflight.Lookup(lineAddr); rec != nil && *rec != 0 {
+		age := cycle - (*rec - 1)
 		if age > e.cfg.MinLatency {
 			e.stats.Useful++
-			if ev.Miss {
+			if miss {
 				// The simulator's cache did not have the prefetch, but a
 				// prefetching cache would have: count the miss as covered.
 				e.stats.CoveredMisses++
@@ -141,9 +185,10 @@ func (e *Engine) Access(ev trace.Event) int {
 		} else {
 			e.stats.Late++
 		}
-		delete(e.inflight, ev.LineAddr)
+		*rec = 0
+		e.inflightN--
 	}
-	if ev.Miss {
+	if miss {
 		e.stats.DemandMisses++
 	}
 
@@ -151,16 +196,22 @@ func (e *Engine) Access(ev trace.Event) int {
 	// Next-line prediction.
 	if e.cfg.NextLine {
 		for d := 1; d <= e.cfg.Degree; d++ {
-			issued += e.issue(ev.LineAddr+uint64(d), ev.Cycle)
+			issued += e.issue(lineAddr+uint64(d), cycle)
 		}
 	}
 	// Stride prediction (data accesses only).
-	if e.cfg.Stride && ev.Kind != trace.Fetch {
-		addr := ev.LineAddr << 6
-		s, ok := e.strides[ev.PC]
-		if !ok {
-			if e.cfg.StrideTableSize == 0 || len(e.strides) < e.cfg.StrideTableSize {
-				e.strides[ev.PC] = &strideEntry{lastAddr: addr, lastCycle: ev.Cycle}
+	if e.shared != nil {
+		// The classifier already ran this event through an identical
+		// stride table (the sink feeds it first); issue its prediction.
+		if p := e.shared.predLine; p != 0 {
+			issued += e.issue(p-1, cycle)
+		}
+	} else if e.cfg.Stride && kind != trace.Fetch {
+		addr := lineAddr << 6
+		s := e.strides.Ptr(pc)
+		if s == nil {
+			if e.cfg.StrideTableSize == 0 || e.strides.Len() < e.cfg.StrideTableSize {
+				e.strides.Set(pc, strideEntry{lastAddr: addr, lastCycle: cycle})
 			}
 		} else {
 			stride := int64(addr) - int64(s.lastAddr)
@@ -171,55 +222,58 @@ func (e *Engine) Access(ev trace.Event) int {
 				s.confirmed = false
 			}
 			s.lastAddr = addr
-			s.lastCycle = ev.Cycle
+			s.lastCycle = cycle
 			if s.confirmed {
 				next := uint64(int64(addr)+s.stride) >> 6
-				issued += e.issue(next, ev.Cycle)
+				issued += e.issue(next, cycle)
 			}
 		}
 	}
-	e.lastLine = ev.LineAddr
-	e.haveLast = true
-	e.lastSeen = ev.Cycle
+	e.lastSeen = cycle
 	return issued
 }
 
 // issue records a prefetch unless one is already in flight for the line.
+// The issuedAt+1 encoding makes the present/absent check and the insert a
+// single Upsert probe.
 func (e *Engine) issue(lineAddr, cycle uint64) int {
-	if _, ok := e.inflight[lineAddr]; ok {
+	rec := e.inflight.Slot(lineAddr)
+	if *rec != 0 {
 		return 0
 	}
-	e.inflight[lineAddr] = inflight{issuedAt: cycle}
+	*rec = cycle + 1
+	e.inflightN++
 	e.stats.Issued++
 	return 1
 }
 
 // expire retires prefetches older than the lookahead window.
 func (e *Engine) expire(now uint64) {
-	if len(e.inflight) == 0 {
+	if e.inflightN == 0 {
 		return
 	}
-	// The in-flight table is small (bounded by issue rate * lookahead);
-	// a periodic sweep keeps this O(1) amortized.
+	// The live set is small (bounded by issue rate * lookahead); a
+	// periodic sweep keeps this O(1) amortized.
 	if now < e.lastSeen+e.cfg.Lookahead/4 {
 		return
 	}
-	for line, rec := range e.inflight {
-		if now-rec.issuedAt > e.cfg.Lookahead {
+	e.inflight.Each(func(_ uint64, rec *uint64) bool {
+		if *rec != 0 && now-(*rec-1) > e.cfg.Lookahead {
 			e.stats.Useless++
-			delete(e.inflight, line)
+			*rec = 0
+			e.inflightN--
 		}
-	}
+		return true
+	})
 }
 
 // Finish retires all remaining in-flight prefetches as useless and returns
 // the final statistics. Totals are flushed to telemetry here — once per
 // engine lifetime — so Access stays free of shared-memory traffic.
 func (e *Engine) Finish() EngineStats {
-	for line := range e.inflight {
-		e.stats.Useless++
-		delete(e.inflight, line)
-	}
+	e.stats.Useless += uint64(e.inflightN)
+	e.inflightN = 0
+	e.inflight = u64map.Pages{}
 	sc := telemetry.Default().Scope("prefetch")
 	sc.Counter("engines_finished").Add(1)
 	sc.Counter("demand_accesses").Add(e.stats.DemandAccesses)

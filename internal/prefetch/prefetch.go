@@ -18,6 +18,7 @@ import (
 
 	"leakbound/internal/interval"
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/u64map"
 )
 
 // Config selects which predictors a classifier runs. The paper uses
@@ -56,34 +57,44 @@ type strideEntry struct {
 	confirmed bool // the same stride has been seen at least twice
 }
 
-// Classifier implements interval.Classifier for one cache's event stream.
+// Classifier implements interval.Classifier (and the fused
+// interval.StreamClassifier fast path) for one cache's event stream. Its
+// predictor tables are flat open-addressed u64map tables: the per-event
+// lookup cost is what dominated Suite profiles when these were Go maps.
 type Classifier struct {
 	cfg Config
 
 	// lastLineAccess maps block-aligned line address -> cycle of the most
 	// recent access + 1 (0 = never seen). Used by next-line detection.
-	lastLineAccess map[uint64]uint64
+	// Paged storage: line addresses have strong spatial locality, so the
+	// one-page memo turns most updates into an array store.
+	lastLineAccess u64map.Pages
 
 	// strides maps static load PC -> its stride predictor state.
-	strides map[uint64]*strideEntry
+	strides u64map.Map[strideEntry]
+
+	// predLine is the line the stride predictor would prefetch after the
+	// most recent observation, encoded +1 (0 = no confirmed prediction).
+	// An Engine sharing this classifier's table (Engine.ShareStrides)
+	// reads it instead of probing a duplicate table of its own.
+	predLine uint64
 
 	// Counters for Figure 9's prefetchability accounting.
 	nlHits     uint64
 	strideHits uint64
 }
 
-var _ interval.Classifier = (*Classifier)(nil)
+var (
+	_ interval.Classifier       = (*Classifier)(nil)
+	_ interval.StreamClassifier = (*Classifier)(nil)
+)
 
 // NewClassifier builds a classifier with the given predictor configuration.
 func NewClassifier(cfg Config) (*Classifier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Classifier{
-		cfg:            cfg,
-		lastLineAccess: make(map[uint64]uint64),
-		strides:        make(map[uint64]*strideEntry),
-	}, nil
+	return &Classifier{cfg: cfg}, nil
 }
 
 // MustNewClassifier is NewClassifier that panics on bad configuration.
@@ -98,23 +109,27 @@ func MustNewClassifier(cfg Config) *Classifier {
 // Classify implements interval.Classifier: called at the access that closes
 // an interval opened at cycle start, before Observe sees the event.
 func (c *Classifier) Classify(e trace.Event, start uint64) interval.Flags {
+	return c.classify(e.Cycle, e.LineAddr, e.PC, e.Kind, start)
+}
+
+func (c *Classifier) classify(cycle, lineAddr, pc uint64, kind trace.Kind, start uint64) interval.Flags {
 	var flags interval.Flags
-	if c.cfg.NextLine && e.LineAddr > 0 {
-		if last := c.lastLineAccess[e.LineAddr-1]; last > 0 {
-			// last is cycle+1; the predecessor access must fall strictly
-			// inside the open interval (after start, before e.Cycle).
-			if lastCycle := last - 1; lastCycle > start && lastCycle < e.Cycle {
+	if c.cfg.NextLine && lineAddr > 0 {
+		if lp := c.lastLineAccess.Lookup(lineAddr - 1); lp != nil && *lp > 0 {
+			// *lp is cycle+1; the predecessor access must fall strictly
+			// inside the open interval (after start, before cycle).
+			if lastCycle := *lp - 1; lastCycle > start && lastCycle < cycle {
 				flags |= interval.NLPrefetchable
 				c.nlHits++
 			}
 		}
 	}
 	// Stride prefetch: only data accesses carry a meaningful static load.
-	if c.cfg.Stride && flags&interval.NLPrefetchable == 0 && e.Kind != trace.Fetch {
-		if s, ok := c.strides[e.PC]; ok && s.confirmed {
+	if c.cfg.Stride && flags&interval.NLPrefetchable == 0 && kind != trace.Fetch {
+		if s := c.strides.Ptr(pc); s != nil && s.confirmed {
 			predicted := s.lastAddr + uint64(s.stride)
-			if s.stride != 0 && predicted>>6 == e.LineAddr &&
-				s.lastCycle > start && s.lastCycle < e.Cycle {
+			if s.stride != 0 && predicted>>6 == lineAddr &&
+				s.lastCycle > start && s.lastCycle < cycle {
 				flags |= interval.StridePrefetchable
 				c.strideHits++
 			}
@@ -126,20 +141,25 @@ func (c *Classifier) Classify(e trace.Event, start uint64) interval.Flags {
 // Observe implements interval.Classifier: updates predictor state for every
 // access in stream order.
 func (c *Classifier) Observe(e trace.Event) {
+	c.observe(e.Cycle, e.LineAddr, e.PC, e.Kind)
+}
+
+func (c *Classifier) observe(cycle, lineAddr, pc uint64, kind trace.Kind) {
 	if c.cfg.NextLine {
-		c.lastLineAccess[e.LineAddr] = e.Cycle + 1
+		*c.lastLineAccess.Slot(lineAddr) = cycle + 1
 	}
-	if c.cfg.Stride && e.Kind != trace.Fetch {
-		addr := e.LineAddr << 6 // classify at line granularity
-		s, ok := c.strides[e.PC]
-		if !ok {
-			if c.cfg.StrideTableSize > 0 && len(c.strides) >= c.cfg.StrideTableSize {
+	c.predLine = 0
+	if c.cfg.Stride && kind != trace.Fetch {
+		addr := lineAddr << 6 // classify at line granularity
+		s := c.strides.Ptr(pc)
+		if s == nil {
+			if c.cfg.StrideTableSize > 0 && c.strides.Len() >= c.cfg.StrideTableSize {
 				// Table full: evict nothing, simply don't track new PCs.
 				// A limit study uses an unbounded table; the bound exists
 				// for sensitivity experiments.
 				return
 			}
-			c.strides[e.PC] = &strideEntry{lastAddr: addr, lastCycle: e.Cycle}
+			c.strides.Set(pc, strideEntry{lastAddr: addr, lastCycle: cycle})
 			return
 		}
 		stride := int64(addr) - int64(s.lastAddr)
@@ -150,8 +170,64 @@ func (c *Classifier) Observe(e trace.Event) {
 			s.confirmed = false
 		}
 		s.lastAddr = addr
-		s.lastCycle = e.Cycle
+		s.lastCycle = cycle
+		if s.confirmed {
+			c.predLine = uint64(int64(addr)+s.stride)>>6 + 1
+		}
 	}
+}
+
+// ClassifyObserve implements interval.StreamClassifier: one fused call per
+// access on the streaming path, equivalent to Classify (when closing)
+// followed by Observe but with a single stride-table probe — both halves
+// touch the same PC entry, and classification reads its state before the
+// observation updates it, so sharing the pointer preserves the
+// Classify-then-Observe contract exactly.
+func (c *Classifier) ClassifyObserve(cycle, lineAddr, pc uint64, kind trace.Kind, start uint64, closing bool) interval.Flags {
+	var flags interval.Flags
+	if c.cfg.NextLine {
+		if closing && lineAddr > 0 {
+			if lp := c.lastLineAccess.Lookup(lineAddr - 1); lp != nil && *lp > 0 {
+				if lastCycle := *lp - 1; lastCycle > start && lastCycle < cycle {
+					flags |= interval.NLPrefetchable
+					c.nlHits++
+				}
+			}
+		}
+		*c.lastLineAccess.Slot(lineAddr) = cycle + 1
+	}
+	c.predLine = 0
+	if c.cfg.Stride && kind != trace.Fetch {
+		addr := lineAddr << 6
+		s := c.strides.Ptr(pc)
+		if s == nil {
+			if c.cfg.StrideTableSize == 0 || c.strides.Len() < c.cfg.StrideTableSize {
+				c.strides.Set(pc, strideEntry{lastAddr: addr, lastCycle: cycle})
+			}
+			return flags
+		}
+		if closing && flags&interval.NLPrefetchable == 0 && s.confirmed {
+			predicted := s.lastAddr + uint64(s.stride)
+			if s.stride != 0 && predicted>>6 == lineAddr &&
+				s.lastCycle > start && s.lastCycle < cycle {
+				flags |= interval.StridePrefetchable
+				c.strideHits++
+			}
+		}
+		stride := int64(addr) - int64(s.lastAddr)
+		if stride == s.stride && stride != 0 {
+			s.confirmed = true
+		} else {
+			s.stride = stride
+			s.confirmed = false
+		}
+		s.lastAddr = addr
+		s.lastCycle = cycle
+		if s.confirmed {
+			c.predLine = uint64(int64(addr)+s.stride)>>6 + 1
+		}
+	}
+	return flags
 }
 
 // Stats reports how many interval closings each predictor flagged.

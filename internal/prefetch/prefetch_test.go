@@ -153,8 +153,8 @@ func TestStrideTableBound(t *testing.T) {
 	c.Observe(dEvent(1, 10, 0x1))
 	c.Observe(dEvent(2, 20, 0x2))
 	c.Observe(dEvent(3, 30, 0x3)) // table full: not tracked
-	if len(c.strides) != 2 {
-		t.Errorf("table size = %d, want 2", len(c.strides))
+	if c.strides.Len() != 2 {
+		t.Errorf("table size = %d, want 2", c.strides.Len())
 	}
 }
 

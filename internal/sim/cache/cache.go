@@ -125,7 +125,8 @@ type line struct {
 // functional model: it tracks presence and recency, not data contents.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	lines     []line // flat frame array: frame = set*assoc + way
+	assoc     int
 	stats     Stats
 	tick      uint64 // logical access counter for recency
 	rngState  uint64 // xorshift64 state for Random replacement
@@ -139,14 +140,10 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	numSets := cfg.NumSets()
-	sets := make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
 	return &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		lines:     make([]line, numSets*cfg.Assoc),
+		assoc:     cfg.Assoc,
 		rngState:  0x9E3779B97F4A7C15, // fixed seed: deterministic runs
 		indexMask: uint64(numSets - 1),
 		blockLog2: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
@@ -182,7 +179,7 @@ func (c *Cache) SetIndex(addr uint64) int {
 func (c *Cache) Access(addr uint64) AccessResult {
 	lineAddr := c.LineAddr(addr)
 	setIdx := int(lineAddr & c.indexMask)
-	set := c.sets[setIdx]
+	set := c.set(setIdx)
 	c.tick++
 	c.stats.Accesses++
 
@@ -221,13 +218,53 @@ func (c *Cache) Access(addr uint64) AccessResult {
 	return res
 }
 
+// set returns setIdx's ways as a subslice of the flat frame array; the
+// header is computed, not loaded, so hot paths touch only the frames.
+func (c *Cache) set(setIdx int) []line {
+	base := setIdx * c.assoc
+	return c.lines[base : base+c.assoc]
+}
+
+// AccessLine is Access specialized for the streaming hot path: identical
+// state transitions (tick, recency, stats, victim choice) but only the
+// frame and hit flag come back, so nothing is copied per access beyond
+// two registers. Access and AccessLine may be interleaved freely — they
+// drive the same state machine. The CPU model calls this directly per
+// fetch group, so it deliberately has no wrapper layers around it.
+func (c *Cache) AccessLine(addr uint64) (frame uint32, hit bool) {
+	lineAddr := addr >> c.blockLog2
+	base := int(lineAddr&c.indexMask) * c.assoc
+	c.tick++
+	c.stats.Accesses++
+
+	for w := base; w < base+c.assoc; w++ {
+		ln := &c.lines[w]
+		if ln.valid && ln.tag == lineAddr {
+			ln.lastUsed = c.tick
+			c.stats.Hits++
+			return uint32(w), true
+		}
+	}
+
+	c.stats.Misses++
+	set := c.lines[base : base+c.assoc]
+	victim := c.pickVictim(set)
+	if set[victim].valid {
+		c.stats.Evictions++
+	} else {
+		c.stats.Fills++
+	}
+	set[victim] = line{tag: lineAddr, valid: true, lastUsed: c.tick, filled: c.tick}
+	return uint32(base + victim), false
+}
+
 // Probe reports whether addr is resident without updating recency or stats.
 func (c *Cache) Probe(addr uint64) (frame int, resident bool) {
 	lineAddr := c.LineAddr(addr)
 	setIdx := int(lineAddr & c.indexMask)
-	for w, ln := range c.sets[setIdx] {
+	for w, ln := range c.set(setIdx) {
 		if ln.valid && ln.tag == lineAddr {
-			return setIdx*c.cfg.Assoc + w, true
+			return setIdx*c.assoc + w, true
 		}
 	}
 	return 0, false
@@ -235,10 +272,8 @@ func (c *Cache) Probe(addr uint64) (frame int, resident bool) {
 
 // Flush invalidates all frames and clears recency state (stats are kept).
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
@@ -283,11 +318,9 @@ func (c *Cache) pickVictim(set []line) int {
 // occupancy assertions in tests.
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, ln := range set {
-			if ln.valid {
-				n++
-			}
+	for _, ln := range c.lines {
+		if ln.valid {
+			n++
 		}
 	}
 	return n

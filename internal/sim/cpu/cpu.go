@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"leakbound/internal/sim/cache"
+	"leakbound/internal/sim/stream"
 	"leakbound/internal/sim/trace"
 	"leakbound/internal/telemetry"
 	"leakbound/internal/workload"
@@ -99,28 +100,122 @@ const ctxCheckMask = 1<<12 - 1
 // together with ctx.Err(). The sink contract is unchanged: it is invoked
 // synchronously on this goroutine and never after RunContext returns.
 func RunContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, sink Sink) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	m, err := newMachine(ctx, w, hier, cfg)
+	if err != nil {
 		return Result{}, err
 	}
+	m.sink = sink
+	return m.run(w)
+}
+
+// RunStream simulates the workload, delivering events to sink in
+// fixed-capacity struct-of-arrays batches instead of one callback per
+// event — the single-pass streaming path: no event slice is ever
+// materialized, and the one batch buffer is reused for the whole run.
+// It is RunStreamContext with a background context.
+func RunStream(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink stream.Sink) (Result, error) {
+	return RunStreamContext(context.Background(), w, hier, cfg, sink)
+}
+
+// RunStreamContext is RunStream with cooperative cancellation (see
+// RunContext). sink runs synchronously on this goroutine, roughly once
+// per cancellation-poll window; the batch it receives is reused as soon
+// as it returns. A sink error stops the simulation and is returned with
+// the partial Result. Event order and timing are bit-identical to
+// RunContext over the same inputs.
+func RunStreamContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, sink stream.Sink) (Result, error) {
+	if sink == nil {
+		return Result{}, errors.New("cpu: nil batch sink")
+	}
+	m, err := newMachine(ctx, w, hier, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	m.batch = stream.NewBatch(stream.DefaultBatchEvents)
+	m.flushFn = func(b *stream.Batch) (*stream.Batch, error) {
+		err := sink(b)
+		b.Reset()
+		return b, err
+	}
+	m.finishFn = func(b *stream.Batch) error {
+		if b.Len() == 0 {
+			return nil
+		}
+		return sink(b)
+	}
+	return m.run(w)
+}
+
+// RunRingContext is RunStreamContext decoupled through an SPSC ring: the
+// simulation (producer) fills batches from the ring's free list and a
+// consumer goroutine drains them (typically via Ring.Consume),
+// overlapping simulation with analysis on multi-core hosts. The ring is
+// always closed before RunRingContext returns — including on
+// cancellation — so the consumer terminates; callers must still wait for
+// the consumer to finish before reading its results.
+func RunRingContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, ring *stream.Ring) (Result, error) {
+	if ring == nil {
+		return Result{}, errors.New("cpu: nil ring")
+	}
+	m, err := newMachine(ctx, w, hier, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer ring.Close()
+	m.batch = ring.Get()
+	m.flushFn = func(b *stream.Batch) (*stream.Batch, error) {
+		ring.Send(b)
+		return ring.Get(), nil
+	}
+	m.finishFn = func(b *stream.Batch) error {
+		if b.Len() > 0 {
+			ring.Send(b)
+		}
+		return nil
+	}
+	return m.run(w)
+}
+
+func newMachine(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config) (*machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if w == nil {
-		return Result{}, errors.New("cpu: nil workload")
+		return nil, errors.New("cpu: nil workload")
 	}
 	if hier == nil {
-		return Result{}, errors.New("cpu: nil hierarchy")
+		return nil, errors.New("cpu: nil hierarchy")
 	}
-	m := &machine{cfg: cfg, hier: hier, sink: sink, ctx: ctx}
+	hc := hier.Config()
+	m := &machine{
+		cfg: cfg, hier: hier, ctx: ctx,
+		l1i: hier.L1I(), l1d: hier.L1D(), l2: hier.L2(),
+		l1iHitLat: uint64(hc.L1I.HitLatency),
+		l1dHitLat: uint64(hc.L1D.HitLatency),
+		l2HitLat:  uint64(hc.L2.HitLatency),
+		memLat:    uint64(hc.MemoryLatency),
+	}
 	if cfg.Branch.Enabled {
 		m.predictor = newBimodal(cfg.Branch.TableBits)
 	}
+	return m, nil
+}
+
+// run drives the instruction stream to completion (or cancellation) and
+// assembles the Result; shared by the per-event and batched entry points.
+func (m *machine) run(w workload.Workload) (Result, error) {
 	w.Emit(m.consume)
 	m.flushGroup()
+	if m.finishFn != nil && m.sinkErr == nil && m.ctxErr == nil {
+		m.sinkErr = m.finishFn(m.batch)
+	}
 	res := Result{
 		Cycles:       m.cycle,
 		Instructions: m.instrs,
 		FetchGroups:  m.groups,
-		L1I:          hier.L1I().Stats(),
-		L1D:          hier.L1D().Stats(),
-		L2:           hier.L2().Stats(),
+		L1I:          m.hier.L1I().Stats(),
+		L1D:          m.hier.L1D().Stats(),
+		L2:           m.hier.L2().Stats(),
 	}
 	if m.predictor != nil {
 		res.Branch = m.predictor.stats
@@ -138,16 +233,35 @@ func RunContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy,
 		sc.Counter("runs_cancelled").Add(1)
 		return res, m.ctxErr
 	}
+	if m.sinkErr != nil {
+		return res, m.sinkErr
+	}
 	return res, nil
 }
 
-// machine holds the in-flight fetch group and the cycle clock.
+// machine holds the in-flight fetch group and the cycle clock. Exactly
+// one of sink (per-event mode) or batch+flushFn (streaming mode) is set.
 type machine struct {
 	cfg    Config
 	hier   *cache.Hierarchy
 	sink   Sink
 	ctx    context.Context
 	ctxErr error
+
+	// Direct cache references and hoisted latencies: flushGroup walks the
+	// hierarchy itself (L1 probe, then L2 on a miss) rather than calling
+	// through wrapper methods that repack the outcome per access.
+	l1i, l1d, l2                           *cache.Cache
+	l1iHitLat, l1dHitLat, l2HitLat, memLat uint64
+
+	// Streaming mode: emit appends columns to batch; when it fills,
+	// flushFn delivers it and returns the next buffer to fill (the same
+	// one reset, or a fresh ring batch). finishFn delivers the final
+	// partial batch after the last fetch group retires.
+	batch    *stream.Batch
+	flushFn  func(*stream.Batch) (*stream.Batch, error)
+	finishFn func(*stream.Batch) error
+	sinkErr  error
 
 	cycle  uint64
 	instrs uint64
@@ -202,7 +316,10 @@ func (m *machine) consume(in workload.Instr) bool {
 	return true
 }
 
-// flushGroup retires the pending fetch group, advancing the clock.
+// flushGroup retires the pending fetch group, advancing the clock. It
+// walks the hierarchy directly — L1 probe, then L2 on a miss — with the
+// same state transitions and timing as Hierarchy.Fetch/Data, but without
+// a wrapper call and outcome-struct copy per access.
 func (m *machine) flushGroup() {
 	if len(m.group) == 0 {
 		return
@@ -213,31 +330,18 @@ func (m *machine) flushGroup() {
 	pc := m.group[0].PC
 	fetchCycle := m.cycle
 
-	out := m.hier.Fetch(pc)
-	m.emit(trace.Event{
-		Cycle:    fetchCycle,
-		LineAddr: pc >> 6,
-		Frame:    uint32(out.L1.Frame),
-		PC:       pc,
-		Cache:    trace.L1I,
-		Kind:     trace.Fetch,
-		Miss:     !out.L1.Hit,
-	})
-	if out.L2Used {
-		m.emit(trace.Event{
-			Cycle:    fetchCycle,
-			LineAddr: pc >> 6,
-			Frame:    uint32(out.L2.Frame),
-			PC:       pc,
-			Cache:    trace.L2,
-			Kind:     trace.Fetch,
-			Miss:     !out.L2.Hit,
-		})
-	}
-	if out.L1.Hit {
+	f1, hit1 := m.l1i.AccessLine(pc)
+	m.emit(fetchCycle, pc>>6, pc, f1, trace.L1I, trace.Fetch, !hit1)
+	if hit1 {
 		m.cycle++ // fetch fully pipelined
 	} else {
-		m.cycle += uint64(out.Latency) // stall for the refill
+		f2, hit2 := m.l2.AccessLine(pc)
+		m.emit(fetchCycle, pc>>6, pc, f2, trace.L2, trace.Fetch, !hit2)
+		lat := m.l1iHitLat + m.l2HitLat
+		if !hit2 {
+			lat += m.memLat
+		}
+		m.cycle += lat // stall for the refill
 	}
 
 	for _, in := range m.group {
@@ -248,40 +352,60 @@ func (m *machine) flushGroup() {
 		if in.Kind == workload.Store {
 			kind = trace.Store
 		}
-		dout := m.hier.Data(in.Addr)
-		m.emit(trace.Event{
-			Cycle:    m.cycle,
-			LineAddr: in.Addr >> 6,
-			Frame:    uint32(dout.L1.Frame),
-			PC:       in.PC,
-			Cache:    trace.L1D,
-			Kind:     kind,
-			Miss:     !dout.L1.Hit,
-		})
-		if dout.L2Used {
-			m.emit(trace.Event{
-				Cycle:    m.cycle,
-				LineAddr: in.Addr >> 6,
-				Frame:    uint32(dout.L2.Frame),
-				PC:       in.PC,
-				Cache:    trace.L2,
-				Kind:     kind,
-				Miss:     !dout.L2.Hit,
-			})
-		}
-		if !dout.L1.Hit {
+		df1, dhit1 := m.l1d.AccessLine(in.Addr)
+		m.emit(m.cycle, in.Addr>>6, in.PC, df1, trace.L1D, kind, !dhit1)
+		if !dhit1 {
+			df2, dhit2 := m.l2.AccessLine(in.Addr)
+			m.emit(m.cycle, in.Addr>>6, in.PC, df2, trace.L2, kind, !dhit2)
 			// Stall for the portion beyond the pipelined L1 hit latency.
-			m.cycle += uint64(dout.Latency - m.hier.Config().L1D.HitLatency)
+			lat := m.l2HitLat
+			if !dhit2 {
+				lat += m.memLat
+			}
+			m.cycle += lat
 		}
 	}
 	m.group = m.group[:0]
 }
 
-func (m *machine) emit(e trace.Event) {
+// emit delivers one event by columns: appended to the current batch in
+// streaming mode (flushing when full), or boxed into a trace.Event for
+// the per-event sink.
+func (m *machine) emit(cycle, lineAddr, pc uint64, frame uint32, cacheID trace.CacheID, kind trace.Kind, miss bool) {
 	m.events++
-	if m.sink != nil {
-		m.sink(e)
+	if m.batch != nil {
+		m.batch.Append(cycle, lineAddr, pc, frame, cacheID, kind, miss)
+		if m.batch.Full() {
+			m.flushBatch()
+		}
+		return
 	}
+	if m.sink != nil {
+		m.sink(trace.Event{
+			Cycle:    cycle,
+			LineAddr: lineAddr,
+			Frame:    frame,
+			PC:       pc,
+			Cache:    cacheID,
+			Kind:     kind,
+			Miss:     miss,
+		})
+	}
+}
+
+func (m *machine) flushBatch() {
+	if m.sinkErr != nil {
+		m.batch.Reset()
+		return
+	}
+	next, err := m.flushFn(m.batch)
+	if err != nil {
+		m.sinkErr = err
+		m.stopping = true
+		m.batch.Reset()
+		return
+	}
+	m.batch = next
 }
 
 // RunToStream is a convenience wrapper that collects all events for one

@@ -1,0 +1,198 @@
+// Package stream is the single-pass conduit between the timing simulator
+// and its consumers: instead of materializing a []trace.Event (or calling
+// a per-event closure with a 48-byte struct), the producer fills
+// fixed-capacity struct-of-arrays Batches and hands each one to a
+// consumer, which processes it and releases it for reuse. No intermediate
+// trace ever exists in memory — at any moment the pipeline holds at most
+// a handful of batches, regardless of run length.
+//
+// Two wirings share the Batch type:
+//
+//   - Inline (one goroutine): the producer invokes a Sink synchronously
+//     per full batch and reuses the same buffer afterwards. This is the
+//     default path — on one core it is strictly faster than any
+//     cross-goroutine handoff.
+//   - Ring (two goroutines): a fixed-depth SPSC ring built from a pair of
+//     channels (filled and free) decouples the simulator from a consumer
+//     goroutine, recycling batches so steady state allocates nothing.
+//
+// The struct-of-arrays layout is deliberate: consumers that filter by
+// cache scan one byte per event (the Caches column) and touch the wide
+// columns only for matching events, and the producer appends to seven
+// small arrays instead of copying whole structs through an interface.
+package stream
+
+import (
+	"errors"
+
+	"leakbound/internal/sim/trace"
+)
+
+// DefaultBatchEvents is the default batch capacity. It matches the CPU
+// core's 4096-instruction cancellation-poll granularity: one batch is
+// roughly one poll window of events, so a cancelled run abandons at most
+// a window of buffered work.
+const DefaultBatchEvents = 4096
+
+// Batch is a struct-of-arrays block of timed cache-access events. All
+// columns share one length; event i is the i-th element of each column.
+// Within a batch, cycles are non-decreasing (the producer emits in
+// simulation order).
+type Batch struct {
+	Cycles    []uint64
+	LineAddrs []uint64
+	PCs       []uint64
+	Frames    []uint32
+	Caches    []trace.CacheID
+	Kinds     []trace.Kind
+	Misses    []bool
+}
+
+// NewBatch returns an empty batch with the given capacity (events).
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchEvents
+	}
+	return &Batch{
+		Cycles:    make([]uint64, 0, capacity),
+		LineAddrs: make([]uint64, 0, capacity),
+		PCs:       make([]uint64, 0, capacity),
+		Frames:    make([]uint32, 0, capacity),
+		Caches:    make([]trace.CacheID, 0, capacity),
+		Kinds:     make([]trace.Kind, 0, capacity),
+		Misses:    make([]bool, 0, capacity),
+	}
+}
+
+// Len returns the number of events in the batch.
+func (b *Batch) Len() int { return len(b.Cycles) }
+
+// Full reports whether the batch has reached its capacity.
+func (b *Batch) Full() bool { return len(b.Cycles) == cap(b.Cycles) }
+
+// Reset empties the batch, keeping its capacity for reuse.
+func (b *Batch) Reset() {
+	b.Cycles = b.Cycles[:0]
+	b.LineAddrs = b.LineAddrs[:0]
+	b.PCs = b.PCs[:0]
+	b.Frames = b.Frames[:0]
+	b.Caches = b.Caches[:0]
+	b.Kinds = b.Kinds[:0]
+	b.Misses = b.Misses[:0]
+}
+
+// Append adds one event by columns.
+func (b *Batch) Append(cycle, lineAddr, pc uint64, frame uint32, cache trace.CacheID, kind trace.Kind, miss bool) {
+	b.Cycles = append(b.Cycles, cycle)
+	b.LineAddrs = append(b.LineAddrs, lineAddr)
+	b.PCs = append(b.PCs, pc)
+	b.Frames = append(b.Frames, frame)
+	b.Caches = append(b.Caches, cache)
+	b.Kinds = append(b.Kinds, kind)
+	b.Misses = append(b.Misses, miss)
+}
+
+// AppendEvent adds one trace.Event; for taps and tests (the hot producer
+// uses Append to keep the event out of a struct entirely).
+func (b *Batch) AppendEvent(e trace.Event) {
+	b.Append(e.Cycle, e.LineAddr, e.PC, e.Frame, e.Cache, e.Kind, e.Miss)
+}
+
+// Event reconstructs event i as a trace.Event; for taps (e.g. the
+// record/replay codec in cmd/tracegen) and tests, not the hot path.
+func (b *Batch) Event(i int) trace.Event {
+	return trace.Event{
+		Cycle:    b.Cycles[i],
+		LineAddr: b.LineAddrs[i],
+		PC:       b.PCs[i],
+		Frame:    b.Frames[i],
+		Cache:    b.Caches[i],
+		Kind:     b.Kinds[i],
+		Miss:     b.Misses[i],
+	}
+}
+
+// Sink consumes one batch. The batch is only valid for the duration of
+// the call: the producer reuses it as soon as Sink returns. A non-nil
+// error stops the producer, which returns the error to its caller.
+type Sink func(*Batch) error
+
+// ErrRingClosed reports a send on a closed ring.
+var ErrRingClosed = errors.New("stream: ring closed")
+
+// Ring is a fixed-depth single-producer single-consumer batch queue: the
+// producer takes empty batches from the free list, fills and Sends them;
+// the consumer Recvs, processes, and Recycles. Both directions are
+// buffered channels, so the ring never allocates after construction and
+// applies backpressure when the consumer lags by more than depth batches.
+//
+// The SPSC contract: exactly one goroutine calls Get/Send/Close and
+// exactly one calls Recv/Recycle. (The channels would tolerate more, but
+// batch recycling makes reuse single-owner by design.)
+type Ring struct {
+	filled chan *Batch
+	free   chan *Batch
+}
+
+// NewRing builds a ring of depth batches, each with capacity batchEvents
+// (DefaultBatchEvents if <= 0). Depth 2 already decouples producer and
+// consumer; deeper rings only smooth bursty consumers.
+func NewRing(depth, batchEvents int) *Ring {
+	if depth < 2 {
+		depth = 2
+	}
+	r := &Ring{
+		filled: make(chan *Batch, depth),
+		free:   make(chan *Batch, depth),
+	}
+	for i := 0; i < depth; i++ {
+		r.free <- NewBatch(batchEvents)
+	}
+	return r
+}
+
+// Get blocks until an empty batch is available.
+func (r *Ring) Get() *Batch { return <-r.free }
+
+// Send hands a filled batch to the consumer.
+func (r *Ring) Send(b *Batch) { r.filled <- b }
+
+// Close signals the consumer that no more batches will arrive. The
+// producer must not Send after Close.
+func (r *Ring) Close() { close(r.filled) }
+
+// Recv blocks for the next filled batch; ok is false after Close drains.
+func (r *Ring) Recv() (b *Batch, ok bool) {
+	b, ok = <-r.filled
+	return b, ok
+}
+
+// Recycle returns a consumed batch to the producer's free list.
+func (r *Ring) Recycle(b *Batch) {
+	b.Reset()
+	r.free <- b
+}
+
+// Consume drains the ring into sink until the ring closes or sink fails,
+// recycling every batch. It is the standard consumer-goroutine body.
+func (r *Ring) Consume(sink Sink) error {
+	for {
+		b, ok := r.Recv()
+		if !ok {
+			return nil
+		}
+		err := sink(b)
+		r.Recycle(b)
+		if err != nil {
+			// Keep draining so the producer never blocks on a full ring,
+			// but drop the data: the pipeline is already failed.
+			for {
+				b, ok := r.Recv()
+				if !ok {
+					return err
+				}
+				r.Recycle(b)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_snapshot.sh — run the core benchmark set and freeze the results
+# into a BENCH_<date>[_<label>].json snapshot at the repo root, via the
+# cmd/benchsnap normalizer. Usage:
+#
+#   scripts/bench_snapshot.sh [label]
+#
+# Environment:
+#   GO          go binary (default: go)
+#   BENCH       -bench regexp (default: the end-to-end + pipeline set)
+#   BENCHTIME   -benchtime (default: 1x for the heavy suite benches —
+#               they are seconds each; raise for publication numbers)
+#   COUNT       -count (default: 3; repeated runs fold best-of-N)
+#   OUT         output directory (default: repo root)
+#
+# The benchmark selection is intentionally the *end-to-end* set: the
+# full-suite simulation (BenchmarkSuiteAll) that the ≥5x streaming claim
+# is made against, plus the per-benchmark pipeline and grid benches.
+# Micro-benches churn too much to gate on.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+BENCH="${BENCH:-^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1)\$}"
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-.}"
+LABEL="${1:-}"
+
+DATE=$(date +%Y-%m-%d)
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo "")
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "running: $GO test -run '^\$' -bench '$BENCH' -benchmem -benchtime $BENCHTIME -count $COUNT ." >&2
+$GO test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmp" >&2
+
+set -- -out "$OUT" -date "$DATE" -commit "$COMMIT"
+if [ -n "$LABEL" ]; then
+    set -- "$@" -label "$LABEL"
+fi
+$GO run ./cmd/benchsnap "$@" <"$tmp"
