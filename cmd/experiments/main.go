@@ -5,8 +5,11 @@
 //	experiments [-scale f] [-workers n] [-timeout d] [-only item[,item...]]
 //
 // where item is one of: fig1, table1, table2, table3, fig7, fig8, fig9,
-// fig10, profile, extensions. With no -only, everything is produced in
-// paper order followed by the extension studies.
+// fig10, profile, extensions, policies, pareto, families. With no -only,
+// everything is produced in paper order followed by the extension
+// studies; "policies" prints the registered-scheme catalog, "pareto" the
+// (normalized leakage, induced miss rate) frontier per cache side, and
+// "families" the related-work technique families against the bound.
 // -scale stretches the benchmark lengths (1.0 = the full study length);
 // -workers bounds the parallel pipeline (benchmark fan-out, per-benchmark
 // collection shards, and evaluation-grid workers; 0 = GOMAXPROCS);
@@ -32,6 +35,7 @@ import (
 	"syscall"
 
 	"leakbound/internal/experiments"
+	"leakbound/internal/power"
 	"leakbound/internal/report"
 	"leakbound/internal/telemetry"
 )
@@ -40,7 +44,7 @@ func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = full study length)")
 	workers := flag.Int("workers", 0, "parallelism bound: benchmark fan-out, per-benchmark shards, grid workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
-	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions,policies,pareto,families")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
 	format := flag.String("format", "text", "output format: text, markdown, or csv")
 	obs := telemetry.RegisterFlags(flag.CommandLine)
@@ -292,6 +296,36 @@ func run(ctx context.Context, scale float64, workers int, only, cacheDir, format
 			return err
 		}
 		fmt.Fprintln(out)
+	}
+	if selected("policies") {
+		if err := render(experiments.PolicyTable()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("pareto") {
+		for _, iCache := range []bool{true, false} {
+			t, err := suite.ParetoTableContext(ctx, iCache, power.Default(), nil)
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if selected("families") {
+		for _, iCache := range []bool{true, false} {
+			t, err := suite.TechniqueFamiliesTableContext(ctx, iCache, power.Default())
+			if err != nil {
+				return err
+			}
+			if err := render(t); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
 	}
 	return nil
 }

@@ -16,9 +16,15 @@
 // finish, and whatever still runs is cancelled. A clean drain exits 0.
 //
 // Endpoints: /healthz, /readyz, /api/v1/{benchmarks,figures/{1,7,8,9,10},
-// tables/{1,2,3},inflections,eval,sweep}, plus the telemetry surface
-// (/metrics, /metrics.json, /debug/vars, /debug/pprof/*) on the same mux.
-// See the README's "Serving" section for parameters and semantics.
+// tables/{1,2,3},inflections,policies,eval,sweep,pareto}, plus the
+// telemetry surface (/metrics, /metrics.json, /debug/vars,
+// /debug/pprof/*) on the same mux. /api/v1/policies lists the registered
+// schemes with their parameter schemas; eval and sweep accept POST bodies
+// with structured policy specs ({"scheme": ..., "params": {...}}) in
+// addition to the GET query spellings; /api/v1/pareto evaluates a policy
+// population on both (normalized leakage, induced miss rate) axes and
+// marks the non-dominated frontier. See the README's "Serving" section
+// for parameters and semantics.
 package main
 
 import (

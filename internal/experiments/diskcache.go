@@ -21,18 +21,6 @@ import (
 // workloads, or the distribution format change behaviourally.
 const cacheVersion = 3
 
-// WithCacheDir enables disk caching under dir for all subsequent Data
-// calls. Passing the empty string disables caching (the default).
-//
-// Deprecated: prefer the construction-time option of the same name,
-// experiments.WithCacheDir, passed to New.
-func (s *Suite) WithCacheDir(dir string) *Suite {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cacheDir = dir
-	return s
-}
-
 // cacheMeta is the JSON sidecar holding everything but the distributions.
 type cacheMeta struct {
 	Version int

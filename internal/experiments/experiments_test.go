@@ -10,21 +10,21 @@ import (
 
 // testSuite simulates at a reduced scale; shared across tests in this
 // package to keep the suite's cache warm.
-var testSuiteShared = MustNewSuite(0.12)
+var testSuiteShared = MustNew(WithScale(0.12))
 
 func TestNewSuiteValidation(t *testing.T) {
-	if _, err := NewSuite(0); err == nil {
+	if _, err := New(WithScale(0)); err == nil {
 		t.Error("zero scale accepted")
 	}
-	if _, err := NewSuite(-1); err == nil {
+	if _, err := New(WithScale(-1)); err == nil {
 		t.Error("negative scale accepted")
 	}
 	defer func() {
 		if recover() == nil {
-			t.Error("MustNewSuite did not panic")
+			t.Error("MustNew did not panic")
 		}
 	}()
-	MustNewSuite(0)
+	MustNew(WithScale(0))
 }
 
 func TestSuiteDataCaching(t *testing.T) {

@@ -256,14 +256,14 @@ func TestGeometrySweep(t *testing.T) {
 func TestDiskCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	// First suite simulates and stores.
-	s1 := MustNewSuite(0.03).WithCacheDir(dir)
+	s1 := MustNew(WithScale(0.03), WithCacheDir(dir))
 	d1, err := s1.Data("gzip")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second suite must load identical data from disk without simulating;
 	// verify by comparing the distributions exactly.
-	s2 := MustNewSuite(0.03).WithCacheDir(dir)
+	s2 := MustNew(WithScale(0.03), WithCacheDir(dir))
 	d2 := s2.loadCached("gzip")
 	if d2 == nil {
 		t.Fatal("cache miss after store")
@@ -278,7 +278,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 		t.Error("cached engine stats differ")
 	}
 	// A different scale must miss.
-	s3 := MustNewSuite(0.04).WithCacheDir(dir)
+	s3 := MustNew(WithScale(0.04), WithCacheDir(dir))
 	if s3.loadCached("gzip") != nil {
 		t.Error("cache hit across scales")
 	}

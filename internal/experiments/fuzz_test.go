@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -12,6 +13,9 @@ import (
 // it must never panic, every failure must be matchable as
 // ErrUnknownPolicy (the serving layer maps that sentinel to a 400), and
 // parsing must be deterministic — the same spec yields the same policy.
+// Specs accepted by the structured registry grammar additionally
+// round-trip through their canonical String() spelling to an equal spec
+// and a deep-equal policy.
 func FuzzParsePolicy(f *testing.F) {
 	for _, name := range PolicyNames() {
 		f.Add(name)
@@ -29,6 +33,18 @@ func FuzzParsePolicy(f *testing.F) {
 	f.Add("@123")
 	f.Add("opt-sleep@0x10")
 	f.Add("active@1@2")
+	// The structured spec grammar: named parameters, lists, and the legacy
+	// ignored-theta compat spelling.
+	f.Add("opt-sleep@theta=8192")
+	f.Add("coloring@colors=4,frames=512")
+	f.Add("coloring@16")
+	f.Add("waymemo@accuracy=0.9")
+	f.Add("amc@theta=8000,tag-fraction=0.06")
+	f.Add("opt-sleep@theta=1,theta=2")
+	f.Add("coloring@bogus=1")
+	f.Add("waymemo@accuracy=nan")
+	f.Add("active@5")
+	f.Add("opt-sleep@=5")
 
 	tech := power.Default()
 	f.Fuzz(func(t *testing.T, spec string) {
@@ -55,6 +71,28 @@ func FuzzParsePolicy(f *testing.F) {
 		folded, err := ParsePolicy(strings.ToUpper(" "+spec+" "), tech)
 		if err != nil || folded.Name() != pol.Name() {
 			t.Fatalf("ParsePolicy(%q) not case/space-insensitive: %v %v", spec, folded, err)
+		}
+		// Specs that parse under the structured grammar round-trip through
+		// the canonical String() spelling to an equal spec and policy. (A
+		// spec accepted only through the legacy ignored-theta compat path,
+		// e.g. "active@5", has no structured parse and is exempt.)
+		ps, specErr := ParsePolicySpec(spec)
+		if specErr != nil {
+			return
+		}
+		back, err := ParsePolicySpec(ps.String())
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", ps.String(), spec, err)
+		}
+		if back.String() != ps.String() {
+			t.Fatalf("canonical spelling unstable: %q -> %q", ps.String(), back.String())
+		}
+		canonical, err := BuildPolicy(back, tech)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not build: %v", ps.String(), spec, err)
+		}
+		if !reflect.DeepEqual(canonical, pol) {
+			t.Fatalf("canonical %q builds %#v, original %q builds %#v", ps.String(), canonical, spec, pol)
 		}
 	})
 }

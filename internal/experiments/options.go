@@ -1,9 +1,8 @@
 package experiments
 
-// The context-aware options API. experiments.New(opts...) is the
-// constructor every new caller should use; NewSuite/MustNewSuite survive
-// as thin deprecated wrappers so the pre-options call sites and examples
-// keep compiling unchanged.
+// The context-aware options API. experiments.New(opts...) is the only
+// constructor; the deprecated NewSuite/MustNewSuite scale-only wrappers
+// are gone now that every call site uses options.
 
 import (
 	"errors"
@@ -103,20 +102,6 @@ func MustNew(opts ...Option) *Suite {
 		panic(err)
 	}
 	return s
-}
-
-// NewSuite creates a suite at the given scale.
-//
-// Deprecated: use New(WithScale(scale)).
-func NewSuite(scale float64) (*Suite, error) {
-	return New(WithScale(scale))
-}
-
-// MustNewSuite is NewSuite that panics on bad input.
-//
-// Deprecated: use MustNew(WithScale(scale)).
-func MustNewSuite(scale float64) *Suite {
-	return MustNew(WithScale(scale))
 }
 
 // poolWorkers resolves the configured worker bound.

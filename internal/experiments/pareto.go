@@ -1,0 +1,263 @@
+package experiments
+
+// The Pareto view of the policy space: leakage savings alone rank the
+// oracles, but the sleep-based schemes buy their savings with induced
+// misses the drowsy schemes never pay. ParetoFrontierContext evaluates
+// both axes — benchmark-averaged normalized leakage (energy / always-on
+// baseline) and induced re-fetches per 1000 intervals — for any set of
+// policy specs and marks the non-dominated frontier, which by
+// construction contains the paper's OPT-Hybrid bound.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"leakbound/internal/leakage"
+	"leakbound/internal/power"
+	"leakbound/internal/report"
+)
+
+// ParetoPoint is one policy's position in the (normalized leakage,
+// induced miss rate) plane, benchmark-averaged on one cache side.
+type ParetoPoint struct {
+	// Spec is the canonical spec string that built the policy.
+	Spec string `json:"spec"`
+	// Policy is the built policy's display name.
+	Policy string `json:"policy"`
+	// NormalizedLeakage is the benchmark-averaged ratio of the policy's
+	// leakage energy to the always-active baseline (lower is better;
+	// 1 - savings).
+	NormalizedLeakage float64 `json:"normalized_leakage"`
+	// InducedMissRate is the benchmark-averaged induced re-fetches per
+	// 1000 intervals (lower is better; 0 for the drowsy-only schemes).
+	InducedMissRate float64 `json:"induced_miss_rate"`
+	// Frontier marks the point as non-dominated: no other evaluated point
+	// is at least as good on both axes and strictly better on one.
+	Frontier bool `json:"frontier"`
+}
+
+// DefaultParetoSpecs returns one representative per technique family with
+// its default parameters, in registration order — the default population
+// for the frontier query. Registered refinements (Registration.Refines)
+// are skipped: a refinement dominates its base scheme by construction
+// (strictly more oracle information), so including both would collapse
+// the technique-level frontier into a family-internal comparison. Callers
+// wanting the refinements on the plot pass them explicitly.
+func DefaultParetoSpecs() []leakage.PolicySpec {
+	regs := leakage.DefaultRegistry().Schemes()
+	specs := make([]leakage.PolicySpec, 0, len(regs))
+	for _, reg := range regs {
+		if reg.Refines != "" {
+			continue
+		}
+		specs = append(specs, leakage.PolicySpec{Scheme: reg.Name})
+	}
+	return specs
+}
+
+// ParetoFrontierContext evaluates every spec on every benchmark's chosen
+// cache at tech and returns the points in spec order with the
+// non-dominated set marked. A nil/empty specs slice evaluates
+// DefaultParetoSpecs. Energy cells run concurrently on the suite's grid;
+// the miss-rate folds and the dominance pass are sequential and
+// deterministic.
+func (s *Suite) ParetoFrontierContext(ctx context.Context, iCache bool, tech power.Technology, specs []leakage.PolicySpec) ([]ParetoPoint, error) {
+	if len(specs) == 0 {
+		specs = DefaultParetoSpecs()
+	}
+	policies := make([]leakage.Policy, len(specs))
+	for i, spec := range specs {
+		pol, err := BuildPolicy(spec, tech)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = pol
+	}
+	all, err := s.AllContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(specs)*len(all))
+	for i, pol := range policies {
+		for _, bd := range all {
+			dist := bd.ICache
+			if !iCache {
+				dist = bd.DCache
+			}
+			cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
+				Label: fmt.Sprintf("pareto/%s/%s", specs[i], bd.Name)})
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ParetoPoint, len(specs))
+	k := 0
+	for i, pol := range policies {
+		var leak, miss float64
+		for _, bd := range all {
+			dist := bd.ICache
+			if !iCache {
+				dist = bd.DCache
+			}
+			leak += evs[k].Energy / evs[k].Baseline
+			rate, err := leakage.InducedMissRate(tech, dist, pol)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: pareto %q: %w", specs[i], err)
+			}
+			miss += rate
+			k++
+		}
+		n := float64(len(all))
+		points[i] = ParetoPoint{
+			Spec:              specs[i].String(),
+			Policy:            pol.Name(),
+			NormalizedLeakage: leak / n,
+			InducedMissRate:   miss / n,
+		}
+	}
+	markFrontier(points)
+	return points, nil
+}
+
+// markFrontier sets Frontier on every non-dominated point: p is dominated
+// iff some q is at least as good on both axes and strictly better on one.
+// Coincident points are mutually non-dominating, so duplicates of a
+// frontier point stay on the frontier.
+func markFrontier(points []ParetoPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			p, q := points[i], points[j]
+			if q.NormalizedLeakage <= p.NormalizedLeakage && q.InducedMissRate <= p.InducedMissRate &&
+				(q.NormalizedLeakage < p.NormalizedLeakage || q.InducedMissRate < p.InducedMissRate) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Frontier = !dominated
+	}
+}
+
+// ParetoTableContext renders the frontier query as a table: one row per
+// spec with both axes and the frontier mark.
+func (s *Suite) ParetoTableContext(ctx context.Context, iCache bool, tech power.Technology, specs []leakage.PolicySpec) (*report.Table, error) {
+	points, err := s.ParetoFrontierContext(ctx, iCache, tech, specs)
+	if err != nil {
+		return nil, err
+	}
+	side := "(a) Instruction Cache"
+	if !iCache {
+		side = "(b) Data Cache"
+	}
+	t := report.NewTable("Pareto "+side+": normalized leakage vs induced misses per scheme",
+		"spec", "policy", "normalized leakage", "misses/1K intervals", "frontier")
+	for _, p := range points {
+		mark := ""
+		if p.Frontier {
+			mark = "*"
+		}
+		t.MustAddRow(p.Spec, p.Policy,
+			fmt.Sprintf("%.4f", p.NormalizedLeakage),
+			fmt.Sprintf("%.3f", p.InducedMissRate), mark)
+	}
+	return t, nil
+}
+
+// TechniqueFamiliesTableContext evaluates the related-work technique
+// families against the paper's bound, Figure-8 style: cache coloring at
+// three granularities (Mittal, arXiv:1309.5647), way memoization at each
+// benchmark's measured prefetch-engine accuracy (Ishihara & Fallah,
+// arXiv:0710.4703), and the realizable Prefetch-B, all as savings
+// relative to OPT-Hybrid's oracle ceiling.
+func (s *Suite) TechniqueFamiliesTableContext(ctx context.Context, iCache bool, tech power.Technology) (*report.Table, error) {
+	all, err := s.AllContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fixed := []leakage.Policy{
+		leakage.OPTHybrid{},
+		leakage.Coloring{Colors: 2, Frames: leakage.DefaultColoringFrames},
+		leakage.Coloring{Colors: 8, Frames: leakage.DefaultColoringFrames},
+		leakage.Coloring{Colors: 64, Frames: leakage.DefaultColoringFrames},
+		leakage.PrefetchB(),
+	}
+	// One policy slot per benchmark row: the fixed set plus a WayMemo at
+	// that benchmark's measured engine accuracy.
+	perBench := make([][]leakage.Policy, len(all))
+	cells := make([]Cell, 0, len(all)*(len(fixed)+1))
+	for bi, bd := range all {
+		dist := bd.ICache
+		acc := bd.IEngine.Accuracy()
+		if !iCache {
+			dist = bd.DCache
+			acc = bd.DEngine.Accuracy()
+		}
+		pols := append(append([]leakage.Policy{}, fixed...), leakage.WayMemo{Accuracy: acc})
+		perBench[bi] = pols
+		for _, p := range pols {
+			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist,
+				Label: fmt.Sprintf("families/%s/%s", bd.Name, p.Name())})
+		}
+	}
+	evs, err := s.EvaluateGrid(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	side := "(a) Instruction Cache"
+	if !iCache {
+		side = "(b) Data Cache"
+	}
+	headers := []string{"benchmark"}
+	for _, p := range fixed {
+		headers = append(headers, p.Name())
+	}
+	headers = append(headers, "WayMemo(engine)")
+	t := report.NewTable("Technique families "+side+": savings vs the OPT-Hybrid bound", headers...)
+	nPols := len(fixed) + 1
+	avg := make([]float64, nPols)
+	k := 0
+	for _, bd := range all {
+		row := []string{bd.Name}
+		for i := 0; i < nPols; i++ {
+			row = append(row, report.Pct(evs[k].Savings))
+			avg[i] += evs[k].Savings / float64(len(all))
+			k++
+		}
+		t.MustAddRow(row...)
+	}
+	avgRow := []string{"average"}
+	for _, v := range avg {
+		avgRow = append(avgRow, report.Pct(v))
+	}
+	t.MustAddRow(avgRow...)
+	return t, nil
+}
+
+// PolicyTable renders the default registry as a table — the single source
+// of truth behind README's policy list and the "policies" CLI item: one
+// row per scheme with its parameters (positional first) and doc line.
+func PolicyTable() *report.Table {
+	t := report.NewTable("Registered policy schemes", "scheme", "parameters", "description")
+	for _, reg := range leakage.DefaultRegistry().Schemes() {
+		params := make([]string, 0, len(reg.Params))
+		for _, p := range reg.Params {
+			name := p.Name
+			if p.Name == reg.Positional {
+				name += " (positional)"
+			}
+			params = append(params, fmt.Sprintf("%s %s, default %s", name, p.Kind, p.Default))
+		}
+		cell := "-"
+		if len(params) > 0 {
+			cell = strings.Join(params, "; ")
+		}
+		t.MustAddRow(reg.Name, cell, reg.Doc)
+	}
+	return t
+}

@@ -256,10 +256,6 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := New(WithMetrics(nil)); !errors.Is(err, ErrBadOption) {
 		t.Errorf("WithMetrics(nil): got %v, want ErrBadOption", err)
 	}
-	// The deprecated constructors stay behaviourally identical.
-	if _, err := NewSuite(0); !errors.Is(err, ErrNonPositiveScale) {
-		t.Errorf("NewSuite(0): got %v, want ErrNonPositiveScale", err)
-	}
 	s, err := New(WithScale(0.5), WithWorkers(3), WithCacheDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)

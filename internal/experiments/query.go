@@ -31,72 +31,74 @@ var (
 )
 
 // PolicyNames lists the canonical spellings ParsePolicy accepts, in
-// presentation order. Parameterized policies take an optional "@theta"
-// suffix (e.g. "opt-sleep@5088").
-func PolicyNames() []string {
-	return []string{
-		"active", "opt-drowsy", "opt-sleep", "opt-hybrid",
-		"sleep-decay", "periodic-drowsy", "prefetch-a", "prefetch-b",
+// registration (presentation) order — the registry is the single source of
+// truth. Parameterized policies take an optional "@value" positional
+// suffix (e.g. "opt-sleep@5088") or "@key=value,..." pairs.
+func PolicyNames() []string { return leakage.PolicyNames() }
+
+// ParsePolicySpec parses a query spelling into a structured policy spec
+// against the default registry's grammar ("scheme", "scheme@value",
+// "scheme@key=value,..."), case/space folded. Errors wrap
+// ErrUnknownPolicy so the serving layer's 400 mapping matches on one
+// sentinel for every parse failure.
+func ParsePolicySpec(spec string) (leakage.PolicySpec, error) {
+	ps, err := leakage.DefaultRegistry().ParseSpec(spec)
+	if err != nil {
+		return leakage.PolicySpec{}, fmt.Errorf("%w: %w", ErrUnknownPolicy, err)
 	}
+	return ps, nil
 }
 
-// ParsePolicy builds a leakage policy from a query spelling: one of
-// PolicyNames, case-insensitive, with an optional "@theta" suffix for the
-// parameterized schemes. A zero/absent theta falls back to the
-// technology's drowsy-sleep inflection point b for opt-sleep and
-// sleep-decay (the paper's own default), and to 2000 cycles for
-// periodic-drowsy.
+// BuildPolicy constructs the policy a spec describes at one technology
+// node via the default registry; validation failures wrap
+// ErrUnknownPolicy like parse failures.
+func BuildPolicy(ps leakage.PolicySpec, tech power.Technology) (leakage.Policy, error) {
+	pol, err := leakage.DefaultRegistry().Build(ps, tech)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrUnknownPolicy, err)
+	}
+	return pol, nil
+}
+
+// ParsePolicy builds a leakage policy from a query spelling — a thin
+// compat shim over ParsePolicySpec + BuildPolicy. Every pre-registry
+// spelling keeps parsing bit-identically: a zero/absent theta falls back
+// to the technology's drowsy-sleep inflection point b for opt-sleep and
+// sleep-decay (the paper's own default) and to 2000 cycles for
+// periodic-drowsy, and — as the legacy parser did — a numeric "@theta"
+// suffix on a scheme with no positional parameter (e.g. "active@5") is
+// accepted and ignored.
 func ParsePolicy(spec string, tech power.Technology) (leakage.Policy, error) {
-	name := strings.ToLower(strings.TrimSpace(spec))
-	var theta uint64
-	if at := strings.IndexByte(name, '@'); at >= 0 {
-		v, err := strconv.ParseUint(name[at+1:], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%w: bad theta in %q: %w", ErrUnknownPolicy, spec, err)
+	ps, err := ParsePolicySpec(spec)
+	if err != nil {
+		if bare, ok := stripIgnoredTheta(spec); ok {
+			return BuildPolicy(leakage.PolicySpec{Scheme: bare}, tech)
 		}
-		theta, name = v, name[:at]
+		return nil, err
 	}
-	inflectionB := func() (uint64, error) {
-		if theta > 0 {
-			return theta, nil
-		}
-		_, b, err := tech.InflectionPoints()
-		if err != nil {
-			return 0, err
-		}
-		return uint64(b + 0.5), nil
+	return BuildPolicy(ps, tech)
+}
+
+// stripIgnoredTheta reproduces the legacy parser's one permissive corner:
+// "scheme@123" succeeded even when scheme took no parameter, silently
+// dropping the theta. It reports the bare scheme name when spec has that
+// shape — a registered scheme without a positional parameter followed by
+// a well-formed base-10 uint.
+func stripIgnoredTheta(spec string) (string, bool) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return "", false
 	}
-	switch name {
-	case "active":
-		return leakage.AlwaysActive{}, nil
-	case "opt-drowsy":
-		return leakage.OPTDrowsy{}, nil
-	case "opt-sleep":
-		th, err := inflectionB()
-		if err != nil {
-			return nil, err
-		}
-		return leakage.OPTSleep{Theta: th}, nil
-	case "opt-hybrid":
-		return leakage.OPTHybrid{SleepTheta: theta}, nil
-	case "sleep-decay":
-		th, err := inflectionB()
-		if err != nil {
-			return nil, err
-		}
-		return leakage.SleepDecay{Theta: th}, nil
-	case "periodic-drowsy":
-		if theta == 0 {
-			theta = 2000
-		}
-		return leakage.PeriodicDrowsy{Window: theta}, nil
-	case "prefetch-a":
-		return leakage.PrefetchA(), nil
-	case "prefetch-b":
-		return leakage.PrefetchB(), nil
-	default:
-		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownPolicy, spec, strings.Join(PolicyNames(), ", "))
+	name, suffix := s[:at], s[at+1:]
+	reg, ok := leakage.DefaultRegistry().Lookup(name)
+	if !ok || reg.Positional != "" {
+		return "", false
 	}
+	if _, err := strconv.ParseUint(suffix, 10, 64); err != nil {
+		return "", false
+	}
+	return name, true
 }
 
 // ParseCacheSide maps a query selector onto the study's two L1 subjects:
@@ -175,22 +177,46 @@ type SweepPoint struct {
 	Savings float64 `json:"savings"`
 }
 
-// SweepThetaContext generalizes Figure 7 into a parameterized query:
-// for each theta it evaluates the scheme ("opt-sleep" or "opt-hybrid",
-// per ParsePolicy with the theta substituted) on every benchmark's chosen
+// ParamSweepPoint is one sample of a generalized parameter sweep: the
+// benchmark-averaged savings of the scheme with that parameter value.
+type ParamSweepPoint struct {
+	Value   leakage.ParamValue `json:"value"`
+	Savings float64            `json:"savings"`
+}
+
+// SweepParamContext generalizes Figure 7 into a parameterized query over
+// any declared scheme parameter: for each value it builds the scheme with
+// that parameter substituted, evaluates it on every benchmark's chosen
 // cache at tech, and averages — the cells run concurrently on the grid,
-// the reduction in deterministic loop order.
-func (s *Suite) SweepThetaContext(ctx context.Context, scheme string, iCache bool, tech power.Technology, thetas []uint64) ([]SweepPoint, error) {
-	if len(thetas) == 0 {
-		return nil, fmt.Errorf("%w: empty theta sweep", ErrBadOption)
+// the reduction in deterministic loop order. An empty param selects the
+// scheme's positional parameter.
+func (s *Suite) SweepParamContext(ctx context.Context, scheme, param string, iCache bool, tech power.Technology, values []leakage.ParamValue) ([]ParamSweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty parameter sweep", ErrBadOption)
+	}
+	name := strings.ToLower(strings.TrimSpace(scheme))
+	reg, ok := leakage.DefaultRegistry().Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownPolicy, scheme, strings.Join(PolicyNames(), ", "))
+	}
+	param = strings.ToLower(strings.TrimSpace(param))
+	if param == "" {
+		if reg.Positional == "" {
+			return nil, fmt.Errorf("%w: scheme %q has no positional parameter to sweep", ErrUnknownPolicy, scheme)
+		}
+		param = reg.Positional
+	}
+	if _, ok := reg.Schema(param); !ok {
+		return nil, fmt.Errorf("%w: scheme %q has no parameter %q", ErrUnknownPolicy, scheme, param)
 	}
 	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]Cell, 0, len(thetas)*len(all))
-	for _, theta := range thetas {
-		pol, err := ParsePolicy(fmt.Sprintf("%s@%d", scheme, theta), tech)
+	cells := make([]Cell, 0, len(values)*len(all))
+	for _, v := range values {
+		spec := leakage.PolicySpec{Scheme: name, Params: leakage.Params{param: v}}
+		pol, err := BuildPolicy(spec, tech)
 		if err != nil {
 			return nil, err
 		}
@@ -200,22 +226,45 @@ func (s *Suite) SweepThetaContext(ctx context.Context, scheme string, iCache boo
 				dist = bd.DCache
 			}
 			cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
-				Label: fmt.Sprintf("sweep/%s@%d/%s", scheme, theta, bd.Name)})
+				Label: fmt.Sprintf("sweep/%s/%s", spec, bd.Name)})
 		}
 	}
 	evs, err := s.EvaluateGrid(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SweepPoint, 0, len(thetas))
+	out := make([]ParamSweepPoint, 0, len(values))
 	k := 0
-	for _, theta := range thetas {
+	for _, v := range values {
 		var sum float64
 		for range all {
 			sum += evs[k].Savings
 			k++
 		}
-		out = append(out, SweepPoint{Theta: theta, Savings: sum / float64(len(all))})
+		out = append(out, ParamSweepPoint{Value: v, Savings: sum / float64(len(all))})
+	}
+	return out, nil
+}
+
+// SweepThetaContext is the theta-specific compat shim over
+// SweepParamContext: it sweeps the scheme's positional parameter
+// ("opt-sleep", "opt-hybrid", "sleep-decay", ...) across the given uint
+// values, exactly as the pre-registry sweep did.
+func (s *Suite) SweepThetaContext(ctx context.Context, scheme string, iCache bool, tech power.Technology, thetas []uint64) ([]SweepPoint, error) {
+	if len(thetas) == 0 {
+		return nil, fmt.Errorf("%w: empty theta sweep", ErrBadOption)
+	}
+	values := make([]leakage.ParamValue, len(thetas))
+	for i, theta := range thetas {
+		values[i] = leakage.Uint(theta)
+	}
+	pts, err := s.SweepParamContext(ctx, scheme, "", iCache, tech, values)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(pts))
+	for i, p := range pts {
+		out[i] = SweepPoint{Theta: thetas[i], Savings: p.Savings}
 	}
 	return out, nil
 }

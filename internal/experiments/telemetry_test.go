@@ -16,7 +16,7 @@ import (
 // inside the bounded pool while other callers race on Data's cache. The
 // sink state must stay single-goroutine-owned per cpu.Run call.
 func TestSuiteAllConcurrentRace(t *testing.T) {
-	s := MustNewSuite(0.02)
+	s := MustNew(WithScale(0.02))
 	var wg sync.WaitGroup
 	for g := 0; g < 3; g++ {
 		wg.Add(1)
@@ -39,12 +39,13 @@ func TestSuiteAllConcurrentRace(t *testing.T) {
 // snapshot: per-benchmark simulation time, event counts, and disk-cache
 // hit/miss counters all present after All().
 func TestSuiteAllReportsTelemetry(t *testing.T) {
-	s := MustNewSuite(0.02).WithCacheDir(t.TempDir())
+	dir := t.TempDir()
+	s := MustNew(WithScale(0.02), WithCacheDir(dir))
 	if _, err := s.All(); err != nil {
 		t.Fatal(err)
 	}
 	// Second pass must be served from the disk cache.
-	s2 := MustNewSuite(0.02).WithCacheDir(s.cacheDir)
+	s2 := MustNew(WithScale(0.02), WithCacheDir(dir))
 	if _, err := s2.All(); err != nil {
 		t.Fatal(err)
 	}

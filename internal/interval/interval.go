@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"leakbound/internal/sim/stream"
 	"leakbound/internal/sim/trace"
@@ -102,6 +103,13 @@ func (f Flags) String() string {
 		add("dead")
 	}
 	return s
+}
+
+// MarshalJSON implements json.Marshaler, encoding the same readable form
+// String produces ("interior", "nl|leading", ...) so API payloads carry
+// names rather than a bitmask clients would have to decode.
+func (f Flags) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, f.String()), nil
 }
 
 // Key identifies one (length, flags) bucket in a distribution.

@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -30,6 +31,25 @@ func TestFlags(t *testing.T) {
 	}
 	if got := Untouched.String(); got != "leading|trailing" {
 		t.Errorf("untouched string = %q", got)
+	}
+}
+
+func TestFlagsMarshalJSON(t *testing.T) {
+	for _, c := range []struct {
+		f    Flags
+		want string
+	}{
+		{0, `"interior"`},
+		{NLPrefetchable | Dirty, `"nl|dirty"`},
+		{Untouched, `"leading|trailing"`},
+	} {
+		b, err := json.Marshal(c.f)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", c.f, err)
+		}
+		if string(b) != c.want {
+			t.Errorf("Marshal(%v) = %s, want %s", c.f, b, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,222 @@
+package leakage
+
+// The built-in registrations: the six paper policies of Figure 8, the
+// related-work baselines of Section 2, the oracle refinements, and the
+// two related-work technique families (cache coloring, way memoization).
+// Registration order is presentation order — the first eight names match
+// the legacy experiments.PolicyNames list, so every pre-registry spelling
+// keeps meaning exactly what it meant.
+//
+// Factories replicate the legacy defaults bit for bit: a zero or absent
+// theta means "the technology's drowsy-sleep inflection point b" for
+// opt-sleep and sleep-decay (the paper's own default), zero for
+// opt-hybrid's override (i.e. use b), and 2000 cycles for
+// periodic-drowsy's window. Every factory returns the concrete policy
+// type, so the evaluation grid's inner loop devirtualizes exactly as it
+// did when the policies were constructed by hand.
+
+import (
+	"fmt"
+
+	"leakbound/internal/power"
+)
+
+// defaultRegistry holds the built-in schemes; see DefaultRegistry.
+var defaultRegistry = newBuiltinRegistry()
+
+// inflectionTheta resolves the "0 means inflection point b" default shared
+// by the sleep-threshold schemes.
+func inflectionTheta(t power.Technology, theta uint64) (uint64, error) {
+	if theta > 0 {
+		return theta, nil
+	}
+	_, b, err := t.InflectionPoints()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(b + 0.5), nil
+}
+
+// thetaSchema declares the common sleep-threshold parameter.
+func thetaSchema(doc, def string) ParamSchema {
+	return ParamSchema{Name: "theta", Kind: UintParam, Doc: doc, Default: def}
+}
+
+func newBuiltinRegistry() *Registry {
+	r := NewRegistry()
+	r.MustRegister(Registration{
+		Name: "active",
+		Doc:  "always-active baseline: no power management at all",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return AlwaysActive{}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name: "opt-drowsy",
+		Doc:  "optimal drowsy-only cache: every interval past the active-drowsy point drowses, just-in-time wakeup",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return OPTDrowsy{}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "opt-sleep",
+		Doc:        "optimal sleep-only cache: intervals longer than theta are gated and re-fetched just in time",
+		Positional: "theta",
+		Params: []ParamSchema{
+			thetaSchema("minimum interval length put to sleep, in cycles", "drowsy-sleep inflection point b"),
+		},
+		Factory: func(t power.Technology, p Params) (Policy, error) {
+			theta, _ := p.Uint("theta")
+			th, err := inflectionTheta(t, theta)
+			if err != nil {
+				return nil, err
+			}
+			return OPTSleep{Theta: th}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "opt-hybrid",
+		Doc:        "optimal three-mode cache: active/drowsy/sleep split at the inflection points (the paper's bound)",
+		Positional: "theta",
+		Params: []ParamSchema{
+			thetaSchema("sleep threshold override; 0 uses the inflection point b", "drowsy-sleep inflection point b"),
+		},
+		Factory: func(_ power.Technology, p Params) (Policy, error) {
+			theta, _ := p.Uint("theta")
+			return OPTHybrid{SleepTheta: theta}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "sleep-decay",
+		Doc:        "cache decay (Kaxiras et al.): gate a line theta cycles after its last access, pay the induced miss",
+		Positional: "theta",
+		Params: []ParamSchema{
+			thetaSchema("decay interval in cycles", "drowsy-sleep inflection point b"),
+		},
+		Factory: func(t power.Technology, p Params) (Policy, error) {
+			theta, _ := p.Uint("theta")
+			th, err := inflectionTheta(t, theta)
+			if err != nil {
+				return nil, err
+			}
+			return SleepDecay{Theta: th}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "periodic-drowsy",
+		Doc:        "drowsy cache (Kim/Flautner et al.): all lines drop to retention voltage every window cycles",
+		Positional: "window",
+		Params: []ParamSchema{
+			{Name: "window", Kind: UintParam, Doc: "drowse period in cycles", Default: "2000"},
+		},
+		Factory: func(_ power.Technology, p Params) (Policy, error) {
+			window, _ := p.Uint("window")
+			if window == 0 {
+				window = 2000
+			}
+			return PeriodicDrowsy{Window: window}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name: "prefetch-a",
+		Doc:  "prefetch-guided, performance-biased: predicted intervals get the optimal mode, the rest stay active",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return PrefetchA(), nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name: "prefetch-b",
+		Doc:  "prefetch-guided, power-biased: like prefetch-a but non-predicted intervals drowse past the active-drowsy point",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return PrefetchB(), nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "amc",
+		Doc:        "adaptive mode control (Zhou et al.): decay-gated data array, tag array stays powered to observe would-be hits",
+		Positional: "theta",
+		Params: []ParamSchema{
+			thetaSchema("turn-off interval in cycles", "drowsy-sleep inflection point b"),
+			{Name: "tag-fraction", Kind: FloatParam,
+				Doc: "share of per-line leakage in the always-on tag array, in [0, 1)", Default: "0.06"},
+		},
+		Factory: func(t power.Technology, p Params) (Policy, error) {
+			theta, _ := p.Uint("theta")
+			th, err := inflectionTheta(t, theta)
+			if err != nil {
+				return nil, err
+			}
+			tagFraction, ok := p.Float("tag-fraction")
+			if !ok {
+				tagFraction = 0.06
+			}
+			if tagFraction < 0 || tagFraction >= 1 {
+				return nil, fmt.Errorf("%w: tag-fraction %g outside [0, 1)", ErrBadParam, tagFraction)
+			}
+			return AMCSleep{Theta: th, TagFraction: tagFraction}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:    "opt-hybrid-wb",
+		Doc:     "write-back-aware hybrid oracle: dirty intervals use the later crossover b + WB/(Pdrowsy-Psleep)",
+		Refines: "opt-hybrid",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return DirtyAwareHybrid{}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:    "opt-hybrid-dead",
+		Doc:     "live/dead-aware hybrid oracle: dead-ending intervals gate without the induced-miss re-fetch",
+		Refines: "opt-hybrid",
+		Factory: func(power.Technology, Params) (Policy, error) {
+			return DeadAwareHybrid{}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "coloring",
+		Doc:        "cache-coloring region gating (Mittal, arXiv:1309.5647): cold colors of frames/colors frames gated wholesale",
+		Positional: "colors",
+		Params: []ParamSchema{
+			{Name: "colors", Kind: UintParam, Doc: "number of color regions, >= 1", Default: "8"},
+			{Name: "frames", Kind: UintParam, Doc: "number of cache frames partitioned, >= colors",
+				Default: fmt.Sprintf("%d (the study's 64KB L1)", DefaultColoringFrames)},
+		},
+		Factory: func(_ power.Technology, p Params) (Policy, error) {
+			colors, ok := p.Uint("colors")
+			if !ok {
+				colors = 8
+			}
+			frames, ok := p.Uint("frames")
+			if !ok {
+				frames = DefaultColoringFrames
+			}
+			if colors == 0 {
+				return nil, fmt.Errorf("%w: colors must be >= 1", ErrBadParam)
+			}
+			if frames < colors {
+				return nil, fmt.Errorf("%w: frames %d < colors %d", ErrBadParam, frames, colors)
+			}
+			return Coloring{Colors: colors, Frames: frames}, nil
+		},
+	})
+	r.MustRegister(Registration{
+		Name:       "waymemo",
+		Doc:        "way memoization (Ishihara & Fallah, arXiv:0710.4703): predicted frames pre-woken, mispredicts charged as induced misses",
+		Positional: "accuracy",
+		Params: []ParamSchema{
+			{Name: "accuracy", Kind: FloatParam, Doc: "memo prediction accuracy, in [0, 1]",
+				Default: fmt.Sprintf("%g", DefaultWayMemoAccuracy)},
+		},
+		Factory: func(_ power.Technology, p Params) (Policy, error) {
+			accuracy, ok := p.Float("accuracy")
+			if !ok {
+				accuracy = DefaultWayMemoAccuracy
+			}
+			if accuracy < 0 || accuracy > 1 {
+				return nil, fmt.Errorf("%w: accuracy %g outside [0, 1]", ErrBadParam, accuracy)
+			}
+			return WayMemo{Accuracy: accuracy}, nil
+		},
+	})
+	return r
+}

@@ -19,4 +19,20 @@ var (
 
 	// ErrNoEvaluations reports an average over zero evaluations.
 	ErrNoEvaluations = errors.New("leakage: no evaluations to average")
+
+	// ErrUnknownScheme reports a policy-spec scheme name with no
+	// registration.
+	ErrUnknownScheme = errors.New("leakage: unknown scheme")
+
+	// ErrDuplicateScheme reports a second registration under a name the
+	// registry already holds.
+	ErrDuplicateScheme = errors.New("leakage: duplicate scheme")
+
+	// ErrBadParam reports a malformed, unknown, duplicate, or
+	// out-of-range policy parameter.
+	ErrBadParam = errors.New("leakage: bad policy parameter")
+
+	// ErrNoMissModel reports an induced-miss query against a policy that
+	// does not implement MissModel.
+	ErrNoMissModel = errors.New("leakage: policy has no miss model")
 )

@@ -16,21 +16,33 @@ package server
 //	GET /api/v1/tables/2         technology-scaling savings
 //	GET /api/v1/tables/3         Prefetch-A/B mode assignment
 //	GET /api/v1/inflections      ?tech=70nm (default: all nodes)
-//	GET /api/v1/eval             ?benchmark=&cache=&tech=&policy=[@theta]
+//	GET /api/v1/policies         registered schemes + parameter schemas
+//	GET /api/v1/eval             ?benchmark=&cache=&tech=&policy=spec
+//	POST /api/v1/eval            {"benchmark","cache","tech","policy"}
+//	                             (policy: spec string or {"scheme","params"})
 //	GET /api/v1/sweep            ?policy=&cache=&tech=&thetas=a,b,c |
 //	                             ?from=&to=&points= (geometric spacing)
+//	POST /api/v1/sweep           {"policy","param","cache","tech","values"}
+//	                             (sweep any declared numeric parameter)
+//	GET /api/v1/pareto           ?cache=&tech=&policy=spec (repeatable;
+//	                             default: every scheme at its defaults)
+//	POST /api/v1/pareto          {"cache","tech","policies":[...]}
 //	GET /metrics, /metrics.json, /debug/vars, /debug/pprof/*
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"leakbound/internal/experiments"
+	"leakbound/internal/leakage"
 	"leakbound/internal/power"
 	"leakbound/internal/report"
 	"leakbound/internal/telemetry"
@@ -77,8 +89,13 @@ func (s *Server) registerRoutes() {
 	s.handleCompute("GET /api/v1/tables/2", "/api/v1/tables/2", weightHeavy, s.handleTable2)
 	s.handleCompute("GET /api/v1/tables/3", "/api/v1/tables/3", weightLight, s.handleTable3)
 	s.handleCompute("GET /api/v1/inflections", "/api/v1/inflections", weightLight, s.handleInflections)
+	s.handleCompute("GET /api/v1/policies", "/api/v1/policies", weightLight, s.handlePolicies)
 	s.handleCompute("GET /api/v1/eval", "/api/v1/eval", weightLight, s.handleEval)
+	s.handleCompute("POST /api/v1/eval", "/api/v1/eval", weightLight, s.handleEval)
 	s.handleCompute("GET /api/v1/sweep", "/api/v1/sweep", weightHeavy, s.handleSweep)
+	s.handleCompute("POST /api/v1/sweep", "/api/v1/sweep", weightHeavy, s.handleSweep)
+	s.handleCompute("GET /api/v1/pareto", "/api/v1/pareto", weightHeavy, s.handlePareto)
+	s.handleCompute("POST /api/v1/pareto", "/api/v1/pareto", weightHeavy, s.handlePareto)
 }
 
 // jsonBody marshals a response value; encoding/json is deterministic for
@@ -294,9 +311,100 @@ func (s *Server) handleInflections(_ context.Context, r *http.Request) ([]byte, 
 	}{Inflections: out})
 }
 
+// decodeBody decodes an optional JSON request body into dst. An absent or
+// empty body leaves dst untouched; a malformed one is a 400.
+func decodeBody(r *http.Request, dst any) error {
+	if r.Body == nil {
+		return nil
+	}
+	b, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return badRequestf("server: reading request body: %v", err)
+	}
+	if len(bytes.TrimSpace(b)) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("server: bad request body: %v", err)
+	}
+	return nil
+}
+
+// policySpecJSON accepts a policy in a POST body as either a spec string
+// ("opt-sleep@8192") or a structured object ({"scheme": "opt-sleep",
+// "params": {"theta": 8192}}).
+type policySpecJSON struct {
+	spec leakage.PolicySpec
+	set  bool
+}
+
+func (p *policySpecJSON) UnmarshalJSON(b []byte) error {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 || string(b) == "null" {
+		return nil
+	}
+	if b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		ps, err := experiments.ParsePolicySpec(s)
+		if err != nil {
+			return err
+		}
+		p.spec, p.set = ps, true
+		return nil
+	}
+	var ps leakage.PolicySpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ps); err != nil {
+		return err
+	}
+	if strings.TrimSpace(ps.Scheme) == "" {
+		return fmt.Errorf("policy object missing scheme (known: %s)", strings.Join(experiments.PolicyNames(), ", "))
+	}
+	p.spec, p.set = ps, true
+	return nil
+}
+
+// override returns the body field when set, otherwise the query value.
+func override(body, query string) string {
+	if strings.TrimSpace(body) != "" {
+		return body
+	}
+	return query
+}
+
+// asBadPolicy downgrades policy parse/build failures to 400s while letting
+// pipeline errors keep their status.
+func asBadPolicy(err error) error {
+	if errors.Is(err, experiments.ErrUnknownPolicy) {
+		return &badRequestError{err: err}
+	}
+	return err
+}
+
+func (s *Server) handlePolicies(_ context.Context, _ *http.Request) ([]byte, string, error) {
+	return jsonBody(struct {
+		Schemes []leakage.Registration `json:"schemes"`
+	}{Schemes: leakage.DefaultRegistry().Schemes()})
+}
+
 func (s *Server) handleEval(ctx context.Context, r *http.Request) ([]byte, string, error) {
 	q := r.URL.Query()
-	benchmark := strings.TrimSpace(q.Get("benchmark"))
+	var body struct {
+		Benchmark string         `json:"benchmark"`
+		Cache     string         `json:"cache"`
+		Tech      string         `json:"tech"`
+		Policy    policySpecJSON `json:"policy"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return nil, "", err
+	}
+	benchmark := strings.TrimSpace(override(body.Benchmark, q.Get("benchmark")))
 	if benchmark == "" {
 		return nil, "", badRequestf("server: missing required parameter benchmark (known: %s)",
 			strings.Join(workload.Names(), ", "))
@@ -305,19 +413,24 @@ func (s *Server) handleEval(ctx context.Context, r *http.Request) ([]byte, strin
 		return nil, "", badRequestf("server: unknown benchmark %q (known: %s)",
 			benchmark, strings.Join(workload.Names(), ", "))
 	}
-	iCache, err := queryCacheSide(r)
+	iCache, err := experiments.ParseCacheSide(override(body.Cache, q.Get("cache")))
 	if err != nil {
-		return nil, "", err
+		return nil, "", &badRequestError{err: err}
 	}
-	tech, err := queryTechnology(r)
+	tech, err := experiments.ParseTechnology(override(body.Tech, q.Get("tech")))
 	if err != nil {
-		return nil, "", err
+		return nil, "", &badRequestError{err: err}
 	}
-	policySpec := q.Get("policy")
-	if policySpec == "" {
-		policySpec = "opt-hybrid"
+	var pol leakage.Policy
+	if body.Policy.set {
+		pol, err = experiments.BuildPolicy(body.Policy.spec, tech)
+	} else {
+		policySpec := q.Get("policy")
+		if policySpec == "" {
+			policySpec = "opt-hybrid"
+		}
+		pol, err = experiments.ParsePolicy(policySpec, tech)
 	}
-	pol, err := experiments.ParsePolicy(policySpec, tech)
 	if err != nil {
 		return nil, "", &badRequestError{err: err}
 	}
@@ -330,22 +443,57 @@ func (s *Server) handleEval(ctx context.Context, r *http.Request) ([]byte, strin
 
 func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, string, error) {
 	q := r.URL.Query()
-	scheme := strings.ToLower(strings.TrimSpace(q.Get("policy")))
+	var body struct {
+		Policy string               `json:"policy"`
+		Param  string               `json:"param"`
+		Cache  string               `json:"cache"`
+		Tech   string               `json:"tech"`
+		Values []leakage.ParamValue `json:"values"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return nil, "", err
+	}
+	scheme := strings.ToLower(strings.TrimSpace(override(body.Policy, q.Get("policy"))))
 	if scheme == "" {
 		scheme = "opt-hybrid"
 	}
-	switch scheme {
-	case "opt-sleep", "opt-hybrid", "sleep-decay":
-	default:
-		return nil, "", badRequestf("server: sweep supports theta-parameterized policies (opt-sleep, opt-hybrid, sleep-decay), not %q", scheme)
+	reg, ok := leakage.DefaultRegistry().Lookup(scheme)
+	if !ok {
+		return nil, "", badRequestf("server: unknown policy scheme %q (known: %s)",
+			scheme, strings.Join(experiments.PolicyNames(), ", "))
 	}
-	iCache, err := queryCacheSide(r)
+	iCache, err := experiments.ParseCacheSide(override(body.Cache, q.Get("cache")))
 	if err != nil {
-		return nil, "", err
+		return nil, "", &badRequestError{err: err}
 	}
-	tech, err := queryTechnology(r)
+	tech, err := experiments.ParseTechnology(override(body.Tech, q.Get("tech")))
 	if err != nil {
-		return nil, "", err
+		return nil, "", &badRequestError{err: err}
+	}
+	if len(body.Values) > 0 {
+		// Generalized sweep: any declared numeric parameter.
+		if len(body.Values) > maxSweepPoints {
+			return nil, "", badRequestf("server: sweep capped at %d values, got %d", maxSweepPoints, len(body.Values))
+		}
+		param := strings.ToLower(strings.TrimSpace(body.Param))
+		points, err := s.suite.SweepParamContext(ctx, scheme, param, iCache, tech, body.Values)
+		if err != nil {
+			return nil, "", asBadPolicy(err)
+		}
+		if param == "" {
+			param = reg.Positional
+		}
+		return jsonBody(struct {
+			Policy     string                        `json:"policy"`
+			Param      string                        `json:"param"`
+			Cache      string                        `json:"cache"`
+			Technology string                        `json:"technology"`
+			Points     []experiments.ParamSweepPoint `json:"points"`
+		}{Policy: scheme, Param: param, Cache: cacheSideLabel(iCache), Technology: tech.Name, Points: points})
+	}
+	// Theta ladder: any scheme whose positional parameter is a uint.
+	if sch, ok := reg.Schema(reg.Positional); reg.Positional == "" || !ok || sch.Kind != leakage.UintParam {
+		return nil, "", badRequestf("server: theta sweep needs a scheme with a uint positional parameter (e.g. opt-sleep, opt-hybrid, sleep-decay), not %q", scheme)
 	}
 	thetas, err := sweepThetas(q.Get("thetas"), q.Get("from"), q.Get("to"), q.Get("points"))
 	if err != nil {
@@ -353,7 +501,7 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 	}
 	points, err := s.suite.SweepThetaContext(ctx, scheme, iCache, tech, thetas)
 	if err != nil {
-		return nil, "", err
+		return nil, "", asBadPolicy(err)
 	}
 	return jsonBody(struct {
 		Policy     string                   `json:"policy"`
@@ -361,6 +509,53 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 		Technology string                   `json:"technology"`
 		Points     []experiments.SweepPoint `json:"points"`
 	}{Policy: scheme, Cache: cacheSideLabel(iCache), Technology: tech.Name, Points: points})
+}
+
+func (s *Server) handlePareto(ctx context.Context, r *http.Request) ([]byte, string, error) {
+	q := r.URL.Query()
+	var body struct {
+		Cache    string           `json:"cache"`
+		Tech     string           `json:"tech"`
+		Policies []policySpecJSON `json:"policies"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		return nil, "", err
+	}
+	iCache, err := experiments.ParseCacheSide(override(body.Cache, q.Get("cache")))
+	if err != nil {
+		return nil, "", &badRequestError{err: err}
+	}
+	tech, err := experiments.ParseTechnology(override(body.Tech, q.Get("tech")))
+	if err != nil {
+		return nil, "", &badRequestError{err: err}
+	}
+	var specs []leakage.PolicySpec
+	for _, p := range body.Policies {
+		if p.set {
+			specs = append(specs, p.spec)
+		}
+	}
+	if len(specs) == 0 {
+		for _, raw := range q["policy"] {
+			ps, err := experiments.ParsePolicySpec(raw)
+			if err != nil {
+				return nil, "", &badRequestError{err: err}
+			}
+			specs = append(specs, ps)
+		}
+	}
+	if len(specs) > maxSweepPoints {
+		return nil, "", badRequestf("server: pareto capped at %d policies, got %d", maxSweepPoints, len(specs))
+	}
+	points, err := s.suite.ParetoFrontierContext(ctx, iCache, tech, specs)
+	if err != nil {
+		return nil, "", asBadPolicy(err)
+	}
+	return jsonBody(struct {
+		Cache      string                    `json:"cache"`
+		Technology string                    `json:"technology"`
+		Points     []experiments.ParetoPoint `json:"points"`
+	}{Cache: cacheSideLabel(iCache), Technology: tech.Name, Points: points})
 }
 
 // sweepThetas resolves the sweep's sample points: an explicit csv list, or

@@ -27,7 +27,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -208,10 +211,34 @@ func (s *Server) handleCompute(pattern, route string, weight int64, fn computeFn
 	s.mux.Handle(pattern, s.instrument(route, s.computeHandler(weight, fn)))
 }
 
+// maxBodyBytes caps a POST body so one request cannot buffer unbounded
+// input into the cache key and the JSON decoder.
+const maxBodyBytes = 1 << 20
+
 // computeHandler runs the cache -> coalesce -> admit -> compute pipeline.
+// POST bodies are buffered up front (capped at maxBodyBytes) so the body
+// digest joins the cache key — two POSTs with equal path, query, and body
+// coalesce and share one cache entry, and the compute fn re-reads the
+// body from the buffer.
 func (s *Server) computeHandler(weight int64, fn computeFn) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		key := canonicalKey(r.URL.Path, r.URL.Query())
+		if r.Method == http.MethodPost {
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+			if err != nil {
+				s.writeError(w, r, badRequestf("server: reading request body: %v", err))
+				return
+			}
+			if len(body) > maxBodyBytes {
+				s.writeError(w, r, badRequestf("server: request body over %d bytes", maxBodyBytes))
+				return
+			}
+			if len(body) > 0 {
+				sum := sha256.Sum256(body)
+				key += "#" + hex.EncodeToString(sum[:16])
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
 		if res, ok := s.cache.get(key); ok {
 			s.writeResult(w, r, res, true)
 			return
