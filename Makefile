@@ -67,8 +67,8 @@ bench-json:
 # report without failing; GATE_FLAGS+='-summary $$GITHUB_STEP_SUMMARY'
 # in CI to publish the comparison table.
 bench-gate:
-	$(GO) test -run '^$$' -bench '^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1)$$' \
-		-benchmem -benchtime 1x -count 3 . | $(GO) run ./cmd/benchsnap -compare . $(GATE_FLAGS)
+	$(GO) test -run '^$$' -bench '^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1|BenchmarkSweepDense256Reference|BenchmarkSweepDense256Aggregates|BenchmarkParetoPopulation)$$' \
+		-benchmem -benchtime 100ms -count 3 . | $(GO) run ./cmd/benchsnap -compare . $(GATE_FLAGS)
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -83,4 +83,4 @@ smoke:
 # time budget needed) — the regression net for the trace codec and the
 # query parser.
 fuzz-regress:
-	$(GO) test -run=Fuzz ./internal/sim/trace/ ./internal/experiments/
+	$(GO) test -run=Fuzz ./internal/sim/trace/ ./internal/experiments/ ./internal/leakage/

@@ -9,6 +9,7 @@ package leakbound_test
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 
@@ -25,6 +26,9 @@ const benchScale = 0.25
 var (
 	suiteOnce sync.Once
 	suite     *experiments.Suite
+
+	// benchSink defeats dead-code elimination in the evaluation benches.
+	benchSink float64
 )
 
 // sharedSuite simulates all six benchmarks once per `go test` process,
@@ -381,8 +385,102 @@ func BenchmarkExtensionTemperature(b *testing.B) {
 	s := sharedSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TemperatureSweep(s, "gzip"); err != nil {
+		if _, err := experiments.TemperatureSweepContext(context.Background(), s, "gzip"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// denseSweepThetas is the 256-point geometric theta ladder the dense-sweep
+// benches share — the serving layer's default span at its default density.
+func denseSweepThetas() []uint64 {
+	const from, to, points = 1057, 103084, 256
+	ratio := math.Pow(float64(to)/float64(from), 1/float64(points-1))
+	out := make([]uint64, 0, points)
+	last := uint64(0)
+	for i := 0; i < points; i++ {
+		v := uint64(math.Round(float64(from) * math.Pow(ratio, float64(i))))
+		if v <= last {
+			continue
+		}
+		out = append(out, v)
+		last = v
+	}
+	return out
+}
+
+// BenchmarkSweepDense256Reference answers a 256-point opt-sleep theta sweep
+// over every benchmark's I-cache through the reference per-bucket walk —
+// the pre-aggregate cost of one dense sweep.
+func BenchmarkSweepDense256Reference(b *testing.B) {
+	s := sharedSuite(b)
+	all, err := s.AllContext(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	thetas := denseSweepThetas()
+	tech := power.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		for _, theta := range thetas {
+			pol := leakage.OPTSleep{Theta: theta}
+			for _, bd := range all {
+				ev, err := leakage.Evaluate(tech, bd.ICache, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += ev.Savings
+			}
+		}
+		benchSink = sink
+	}
+}
+
+// BenchmarkSweepDense256Aggregates answers the identical sweep through the
+// aggregate kernel (leakage.EvaluateMany over the suite's cached prefix
+// summaries) — the fast path behind SweepParamContext and the serving
+// layer's 256-point default.
+func BenchmarkSweepDense256Aggregates(b *testing.B) {
+	s := sharedSuite(b)
+	all, err := s.AllContext(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	thetas := denseSweepThetas()
+	tech := power.Default()
+	pols := make([]leakage.Policy, len(thetas))
+	for i, theta := range thetas {
+		pols[i] = leakage.OPTSleep{Theta: theta}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		for _, bd := range all {
+			evs, err := leakage.EvaluateMany(tech, bd.IAgg, pols)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ev := range evs {
+				sink += ev.Savings
+			}
+		}
+		benchSink = sink
+	}
+}
+
+// BenchmarkParetoPopulation populates the default Pareto frontier (both
+// axes, every registered family, every benchmark) through the aggregate
+// kernel.
+func BenchmarkParetoPopulation(b *testing.B) {
+	s := sharedSuite(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := s.ParetoFrontierContext(ctx, true, power.Default(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = pts[0].NormalizedLeakage
 	}
 }

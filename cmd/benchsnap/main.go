@@ -5,6 +5,12 @@
 //
 //	go test -bench='...' -benchmem | benchsnap -date 2026-08-07 -label r1 -out .
 //
+// With -require-coverage, snapshot mode first checks the run against the
+// newest committed snapshot in -out and refuses (exit 1, nothing
+// written) when any baseline benchmark is missing from the run — a
+// renamed or dropped bench must be an explicit decision, not a silent
+// hole in the next baseline.
+//
 // Compare mode reads the same output on stdin and gates it against a
 // committed baseline snapshot:
 //
@@ -50,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		allocTol  = fs.Float64("alloc-threshold", 0.02, "fractional allocs/op regression tolerated before failing")
 		warnOnly  = fs.Bool("warn-only", false, "report regressions but exit 0")
 		summary   = fs.String("summary", "", "append a markdown comparison table to this file (compare mode)")
+		coverage  = fs.Bool("require-coverage", false, "snapshot mode: fail (exit 1, nothing written) when a benchmark in the newest committed snapshot is missing from this run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +69,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	snap := snapshotFrom(parsed, *date, *label, *commit)
 
 	if *compare == "" {
+		if *coverage {
+			if missing, basePath := missingFromBaseline(*out, snap); len(missing) > 0 {
+				fmt.Fprintf(stderr, "benchsnap: benchmarks in %s missing from this run: %v\n", basePath, missing)
+				fmt.Fprintf(stderr, "benchsnap: refusing to write a snapshot that silently drops them (narrow BENCH on purpose? rerun without -require-coverage)\n")
+				return 1
+			}
+		}
 		path := filepath.Join(*out, snapshotFilename(snap))
 		raw, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -155,6 +169,32 @@ func snapshotFilename(s *bench.Snapshot) string {
 		name += "_" + s.Label
 	}
 	return name + ".json"
+}
+
+// missingFromBaseline resolves the newest committed snapshot in dir and
+// returns the benchmark names it records that the new snapshot lacks,
+// sorted. No committed baseline (or an unreadable one) means nothing to
+// enforce: the first snapshot of a repo must still be writable.
+func missingFromBaseline(dir string, snap *bench.Snapshot) (missing []string, basePath string) {
+	basePath, err := resolveBaseline(dir)
+	if err != nil {
+		return nil, ""
+	}
+	base, err := readSnapshot(basePath)
+	if err != nil {
+		return nil, ""
+	}
+	have := make(map[string]bool, len(snap.Results))
+	for _, r := range snap.Results {
+		have[r.Name] = true
+	}
+	for _, r := range base.Results {
+		if !have[r.Name] {
+			missing = append(missing, r.Name)
+		}
+	}
+	sort.Strings(missing)
+	return missing, basePath
 }
 
 var benchFilePat = regexp.MustCompile(`^BENCH_\d{4}-\d{2}-\d{2}.*\.json$`)

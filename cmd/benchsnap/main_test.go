@@ -147,3 +147,46 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("schema mismatch: exit %d, want 2 (%s)", code, stderr)
 	}
 }
+
+func TestSnapshotRequireCoverage(t *testing.T) {
+	dir := t.TempDir()
+	// No committed baseline yet: the first snapshot must still write.
+	code, _, stderr := runCLI(t,
+		[]string{"-out", dir, "-date", "2026-08-07", "-require-coverage"}, benchOutput)
+	if code != 0 {
+		t.Fatalf("first snapshot: exit %d, stderr: %s", code, stderr)
+	}
+
+	// A run dropping BenchmarkB must fail loudly and write nothing.
+	narrowed := `goos: linux
+goarch: amd64
+cpu: TestCPU v1
+BenchmarkA-1	10	1000 ns/op	100 B/op	5 allocs/op
+PASS
+`
+	code, _, stderr = runCLI(t,
+		[]string{"-out", dir, "-date", "2026-08-08", "-require-coverage"}, narrowed)
+	if code != 1 {
+		t.Fatalf("dropped benchmark: exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkB") {
+		t.Errorf("stderr %q does not name the missing benchmark", stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2026-08-08.json")); !os.IsNotExist(err) {
+		t.Errorf("snapshot written despite failed coverage check: %v", err)
+	}
+
+	// Without the flag the narrowed run still snapshots (explicit opt-out).
+	code, _, stderr = runCLI(t, []string{"-out", dir, "-date", "2026-08-08"}, narrowed)
+	if code != 0 {
+		t.Fatalf("opt-out: exit %d, stderr: %s", code, stderr)
+	}
+
+	// A superset run passes the check: the 2026-08-08 baseline has only
+	// BenchmarkA, and extra benchmarks in the run are fine.
+	code, _, stderr = runCLI(t,
+		[]string{"-out", dir, "-date", "2026-08-09", "-require-coverage"}, benchOutput)
+	if code != 0 {
+		t.Fatalf("superset: exit %d, stderr: %s", code, stderr)
+	}
+}

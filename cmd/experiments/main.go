@@ -5,11 +5,13 @@
 //	experiments [-scale f] [-workers n] [-timeout d] [-only item[,item...]]
 //
 // where item is one of: fig1, table1, table2, table3, fig7, fig8, fig9,
-// fig10, profile, extensions, policies, pareto, families. With no -only,
-// everything is produced in paper order followed by the extension
+// fig10, profile, extensions, policies, pareto, families, sweep. With no
+// -only, everything is produced in paper order followed by the extension
 // studies; "policies" prints the registered-scheme catalog, "pareto" the
-// (normalized leakage, induced miss rate) frontier per cache side, and
-// "families" the related-work technique families against the bound.
+// (normalized leakage, induced miss rate) frontier per cache side,
+// "families" the related-work technique families against the bound, and
+// "sweep" (opt-in only, never in the default run) a 256-point dense theta
+// sweep per cache side through the aggregate evaluation kernel.
 // -scale stretches the benchmark lengths (1.0 = the full study length);
 // -workers bounds the parallel pipeline (benchmark fan-out, per-benchmark
 // collection shards, and evaluation-grid workers; 0 = GOMAXPROCS);
@@ -29,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,7 +47,7 @@ func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = full study length)")
 	workers := flag.Int("workers", 0, "parallelism bound: benchmark fan-out, per-benchmark shards, grid workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
-	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions,policies,pareto,families")
+	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions,policies,pareto,families,sweep")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
 	format := flag.String("format", "text", "output format: text, markdown, or csv")
 	obs := telemetry.RegisterFlags(flag.CommandLine)
@@ -303,6 +306,37 @@ func run(ctx context.Context, scale float64, workers int, only, cacheDir, format
 		}
 		fmt.Fprintln(out)
 	}
+	// "sweep" is opt-in only (never part of the default everything run):
+	// a 256-point dense theta ladder per cache side, affordable because
+	// each benchmark answers the whole ladder in one aggregate-kernel
+	// pass.
+	if len(want) != 0 && want["sweep"] {
+		thetas := denseThetas(1057, 103084, 256)
+		for _, iCache := range []bool{true, false} {
+			side := "(a) Instruction Cache"
+			if !iCache {
+				side = "(b) Data Cache"
+			}
+			series := make([]*report.Series, 0, 2)
+			for _, scheme := range []string{"opt-sleep", "opt-hybrid"} {
+				pts, err := suite.SweepThetaContext(ctx, scheme, iCache, power.Default(), thetas)
+				if err != nil {
+					return err
+				}
+				sr := &report.Series{Name: scheme}
+				for _, p := range pts {
+					sr.Add(float64(p.Theta), p.Savings)
+				}
+				series = append(series, sr)
+			}
+			if err := report.RenderSeries(out,
+				"Dense sweep "+side+": savings over 256 theta points",
+				"theta", series...); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	if selected("pareto") {
 		for _, iCache := range []bool{true, false} {
 			t, err := suite.ParetoTableContext(ctx, iCache, power.Default(), nil)
@@ -328,4 +362,25 @@ func run(ctx context.Context, scale float64, workers int, only, cacheDir, format
 		}
 	}
 	return nil
+}
+
+// denseThetas builds a geometrically spaced theta ladder from from to to
+// with up to points samples, deduplicated after rounding — the same
+// spacing the serving layer's sweep endpoint defaults to.
+func denseThetas(from, to uint64, points int) []uint64 {
+	if points <= 1 || from >= to {
+		return []uint64{from}
+	}
+	ratio := math.Pow(float64(to)/float64(from), 1/float64(points-1))
+	out := make([]uint64, 0, points)
+	last := uint64(0)
+	for i := 0; i < points; i++ {
+		v := uint64(math.Round(float64(from) * math.Pow(ratio, float64(i))))
+		if v <= last {
+			continue
+		}
+		out = append(out, v)
+		last = v
+	}
+	return out
 }

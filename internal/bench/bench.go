@@ -282,8 +282,10 @@ func (o CompareOptions) allocThreshold() float64 {
 // beyond the threshold fails only when both snapshots come from the same
 // CPU model — otherwise the timing row is a warning, because comparing
 // wall-clock across different machines (a laptop baseline vs a CI
-// runner) would gate PRs on hardware, not code. Benchmarks that appear
-// on only one side warn: renames should update the baseline.
+// runner) would gate PRs on hardware, not code. A new benchmark with no
+// baseline warns; a baseline benchmark missing from the current run
+// fails (WarnOnly demotes it like any other failure) — a dropped bench
+// must update the baseline, not silently leave the gate.
 func Compare(base, current *Snapshot, opts CompareOptions) []Delta {
 	sameCPU := base.Host.CPU != "" && base.Host.CPU == current.Host.CPU
 	baseBy := map[string]*Result{}
@@ -339,10 +341,18 @@ func Compare(base, current *Snapshot, opts CompareOptions) []Delta {
 	}
 	for name, b := range baseBy {
 		if !curSeen[name] {
-			deltas = append(deltas, Delta{
-				Name: name, Severity: Warn, Base: b,
+			// A benchmark that vanished from the run is a gate failure, not
+			// a warning: a silently-dropped bench would otherwise let its
+			// regressions ride for free. Renames must update the baseline.
+			d := Delta{
+				Name: name, Severity: Fail, Base: b,
 				Reason: "benchmark missing from current run",
-			})
+			}
+			if opts.WarnOnly {
+				d.Severity = Warn
+				d.Reason += " [warn-only mode]"
+			}
+			deltas = append(deltas, d)
 		}
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })

@@ -176,7 +176,7 @@ func TestCompareWarnOnlyDemotes(t *testing.T) {
 	}
 }
 
-func TestCompareMissingAndNewWarn(t *testing.T) {
+func TestCompareMissingFailsNewWarns(t *testing.T) {
 	base := snap("cpuA", res("BenchmarkGone", 100, 10))
 	cur := snap("cpuA", res("BenchmarkNew", 100, 10))
 	deltas := Compare(base, cur, CompareOptions{})
@@ -184,12 +184,25 @@ func TestCompareMissingAndNewWarn(t *testing.T) {
 		t.Fatalf("got %d deltas, want 2", len(deltas))
 	}
 	for _, d := range deltas {
-		if d.Severity != Warn {
-			t.Errorf("%s severity = %v, want Warn", d.Name, d.Severity)
+		switch d.Name {
+		case "BenchmarkGone":
+			if d.Severity != Fail {
+				t.Errorf("missing benchmark severity = %v, want Fail", d.Severity)
+			}
+		case "BenchmarkNew":
+			if d.Severity != Warn {
+				t.Errorf("new benchmark severity = %v, want Warn", d.Severity)
+			}
 		}
 	}
-	if AnyFail(deltas) {
-		t.Error("missing/new benchmarks must not fail the gate")
+	if !AnyFail(deltas) {
+		t.Error("a benchmark missing from the current run must fail the gate")
+	}
+	// Warn-only demotes the missing-benchmark failure like any other.
+	for _, d := range Compare(base, cur, CompareOptions{WarnOnly: true}) {
+		if d.Severity == Fail {
+			t.Errorf("%s severity = Fail in warn-only mode", d.Name)
+		}
 	}
 }
 

@@ -193,16 +193,13 @@ func WritebackAblationContext(ctx context.Context, s *Suite) (*report.Table, err
 	return t, nil
 }
 
-// TemperatureSweep shows how the drowsy-sleep inflection point and the
-// oracle savings move with junction temperature: leakage scales
+// TemperatureSweepContext shows how the drowsy-sleep inflection point and
+// the oracle savings move with junction temperature: leakage scales
 // exponentially with T while the induced-miss energy does not, so hot
 // silicon should sleep more aggressively. The paper's generalized model
-// exists exactly to answer questions like this.
-func TemperatureSweep(s *Suite, benchmark string) (*report.Table, error) {
-	return TemperatureSweepContext(context.Background(), s, benchmark)
-}
-
-// TemperatureSweepContext is the cancellable TemperatureSweep.
+// exists exactly to answer questions like this. Each temperature point
+// evaluates through the aggregate fast path over the benchmark's cached
+// summary — the sweep never re-walks the distribution.
 func TemperatureSweepContext(ctx context.Context, s *Suite, benchmark string) (*report.Table, error) {
 	bd, err := s.DataContext(ctx, benchmark)
 	if err != nil {
@@ -213,6 +210,9 @@ func TemperatureSweepContext(ctx context.Context, s *Suite, benchmark string) (*
 		fmt.Sprintf("Extension: temperature sensitivity (%s I-cache, 70nm)", benchmark),
 		"temp (K)", "P_active scale", "inflection b", "OPT-Hybrid savings")
 	for _, temp := range []float64{300, 330, 353, 380, 400} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tech, err := power.TemperatureScaledTechnology(base, temp)
 		if err != nil {
 			return nil, err
@@ -221,7 +221,7 @@ func TemperatureSweepContext(ctx context.Context, s *Suite, benchmark string) (*
 		if err != nil {
 			return nil, err
 		}
-		ev, err := leakage.Evaluate(tech, bd.ICache, leakage.OPTHybrid{})
+		ev, err := leakage.EvaluateAggregate(tech, bd.IAgg, leakage.OPTHybrid{})
 		if err != nil {
 			return nil, err
 		}

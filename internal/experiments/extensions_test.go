@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -116,7 +117,7 @@ func TestWritebackAblation(t *testing.T) {
 }
 
 func TestTemperatureSweep(t *testing.T) {
-	tab, err := TemperatureSweep(testSuiteShared, "gzip")
+	tab, err := TemperatureSweepContext(context.Background(), testSuiteShared, "gzip")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestTemperatureSweep(t *testing.T) {
 		}
 		prevB = b
 	}
-	if _, err := TemperatureSweep(testSuiteShared, "nope"); err == nil {
+	if _, err := TemperatureSweepContext(context.Background(), testSuiteShared, "nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -229,7 +230,7 @@ func TestGeometrySweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("geometry sweep simulates 30 configurations")
 	}
-	tab, err := GeometrySweep(0.05)
+	tab, err := GeometrySweepContext(context.Background(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestGeometrySweep(t *testing.T) {
 	if parse(3, 3) <= parse(0, 3) {
 		t.Errorf("OPT-Hybrid savings did not grow with cache size:\n%s", tab.String())
 	}
-	if _, err := GeometrySweep(0); err == nil {
+	if _, err := GeometrySweepContext(context.Background(), 0); err == nil {
 		t.Error("zero scale accepted")
 	}
 }

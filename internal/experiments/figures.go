@@ -42,14 +42,11 @@ func Figure7Context(ctx context.Context, s *Suite, iCache bool) (sleep, hybrid *
 	cells := make([]Cell, 0, 2*len(thetas)*len(all))
 	for _, theta := range thetas {
 		for _, bd := range all {
-			dist := bd.ICache
-			if !iCache {
-				dist = bd.DCache
-			}
+			dist, agg := bd.Side(iCache)
 			cells = append(cells,
-				Cell{Tech: tech, Policy: leakage.OPTSleep{Theta: theta}, Dist: dist,
+				Cell{Tech: tech, Policy: leakage.OPTSleep{Theta: theta}, Dist: dist, Agg: agg,
 					Label: fmt.Sprintf("fig7/%s/sleep@%d", bd.Name, theta)},
-				Cell{Tech: tech, Policy: leakage.OPTHybrid{SleepTheta: theta}, Dist: dist,
+				Cell{Tech: tech, Policy: leakage.OPTHybrid{SleepTheta: theta}, Dist: dist, Agg: agg,
 					Label: fmt.Sprintf("fig7/%s/hybrid@%d", bd.Name, theta)})
 		}
 	}
@@ -113,12 +110,9 @@ func Figure8Context(ctx context.Context, s *Suite, iCache bool) ([]Figure8Row, e
 	policies := Figure8Policies()
 	cells := make([]Cell, 0, len(all)*len(policies))
 	for _, bd := range all {
-		dist := bd.ICache
-		if !iCache {
-			dist = bd.DCache
-		}
+		dist, agg := bd.Side(iCache)
 		for _, p := range policies {
-			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist,
+			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist, Agg: agg,
 				Label: fmt.Sprintf("fig8/%s/%s", bd.Name, p.Name())})
 		}
 	}

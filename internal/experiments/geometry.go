@@ -80,19 +80,16 @@ func GeometrySweepPoints() []GeometryPoint {
 	}
 }
 
-// GeometrySweep evaluates OPT-Hybrid and Sleep(10K) on the D-cache across
-// L1 geometries, averaged over the benchmark suite at the given scale. It
-// is GeometrySweepContext with a background context.
-func GeometrySweep(scale float64) (*report.Table, error) {
-	return GeometrySweepContext(context.Background(), scale)
-}
-
-// GeometrySweepContext is the cancellable GeometrySweep.
+// GeometrySweepContext evaluates OPT-Hybrid and Sleep(10K) on the D-cache
+// across L1 geometries, averaged over the benchmark suite at the given
+// scale. Each simulated distribution is aggregated once and both policies
+// are answered in one leakage.EvaluateMany pass.
 func GeometrySweepContext(ctx context.Context, scale float64) (*report.Table, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("%w: %g", ErrNonPositiveScale, scale)
 	}
 	tech := power.Default()
+	pols := []leakage.Policy{leakage.OPTHybrid{}, leakage.SleepDecay{Theta: 10000}}
 	t := report.NewTable("Extension: L1 D-cache geometry sweep (70nm, benchmark average)",
 		"L1 size", "assoc", "frames", "OPT-Hybrid", "Sleep(10K)")
 	for _, pt := range GeometrySweepPoints() {
@@ -109,16 +106,12 @@ func GeometrySweepContext(ctx context.Context, scale float64) (*report.Table, er
 				return nil, fmt.Errorf("experiments: %s at %dKB/%d-way: %w", name, pt.SizeKB, pt.Assoc, err)
 			}
 			frames = int(dist.NumFrames)
-			hy, err := leakage.Evaluate(tech, dist, leakage.OPTHybrid{})
+			evs, err := leakage.EvaluateMany(tech, interval.NewAggregates(dist), pols)
 			if err != nil {
 				return nil, err
 			}
-			dc, err := leakage.Evaluate(tech, dist, leakage.SleepDecay{Theta: 10000})
-			if err != nil {
-				return nil, err
-			}
-			hySum += hy.Savings
-			dcSum += dc.Savings
+			hySum += evs[0].Savings
+			dcSum += evs[1].Savings
 		}
 		n := float64(len(workload.Names()))
 		t.MustAddRow(

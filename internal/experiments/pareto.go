@@ -16,6 +16,7 @@ import (
 	"leakbound/internal/leakage"
 	"leakbound/internal/power"
 	"leakbound/internal/report"
+	"leakbound/internal/telemetry"
 )
 
 // ParetoPoint is one policy's position in the (normalized leakage,
@@ -59,9 +60,16 @@ func DefaultParetoSpecs() []leakage.PolicySpec {
 // ParetoFrontierContext evaluates every spec on every benchmark's chosen
 // cache at tech and returns the points in spec order with the
 // non-dominated set marked. A nil/empty specs slice evaluates
-// DefaultParetoSpecs. Energy cells run concurrently on the suite's grid;
-// the miss-rate folds and the dominance pass are sequential and
-// deterministic.
+// DefaultParetoSpecs.
+//
+// The population runs on the aggregate kernel: one parallel task per
+// benchmark answers the whole spec list — both axes — with
+// leakage.EvaluateMany and the aggregate miss folds over the suite's
+// cached prefix summaries, so the population costs O(specs x log buckets)
+// per benchmark instead of a full distribution walk per (spec, benchmark)
+// cell. The reductions and the dominance pass are sequential and
+// deterministic (spec-major, benchmark-inner, matching the pre-aggregate
+// loop order).
 func (s *Suite) ParetoFrontierContext(ctx context.Context, iCache bool, tech power.Technology, specs []leakage.PolicySpec) ([]ParetoPoint, error) {
 	if len(specs) == 0 {
 		specs = DefaultParetoSpecs()
@@ -78,37 +86,49 @@ func (s *Suite) ParetoFrontierContext(ctx context.Context, iCache bool, tech pow
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]Cell, 0, len(specs)*len(all))
-	for i, pol := range policies {
-		for _, bd := range all {
-			dist := bd.ICache
-			if !iCache {
-				dist = bd.DCache
+	evsAll := make([][]leakage.Evaluation, len(all))
+	rates := make([][]float64, len(all))
+	missErrs := make([][]error, len(all))
+	pool := telemetry.NewPoolIn(s.metrics, s.poolWorkers())
+	for bi, bd := range all {
+		bi, bd := bi, bd
+		pool.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
-				Label: fmt.Sprintf("pareto/%s/%s", specs[i], bd.Name)})
-		}
+			_, agg := bd.Side(iCache)
+			evs, err := leakage.EvaluateMany(tech, agg, policies)
+			if err != nil {
+				return fmt.Errorf("experiments: pareto %s: %w", bd.Name, err)
+			}
+			evsAll[bi] = evs
+			rates[bi] = make([]float64, len(policies))
+			missErrs[bi] = make([]error, len(policies))
+			for si, pol := range policies {
+				// Miss-fold errors are per (spec, benchmark): stash them and
+				// surface the first one in deterministic reduction order
+				// below, not in completion order.
+				rates[bi][si], missErrs[bi][si] = leakage.InducedMissRateAggregate(tech, agg, pol)
+			}
+			return nil
+		})
 	}
-	evs, err := s.EvaluateGrid(ctx, cells)
+	err = pool.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, err
 	}
 	points := make([]ParetoPoint, len(specs))
-	k := 0
 	for i, pol := range policies {
 		var leak, miss float64
-		for _, bd := range all {
-			dist := bd.ICache
-			if !iCache {
-				dist = bd.DCache
-			}
-			leak += evs[k].Energy / evs[k].Baseline
-			rate, err := leakage.InducedMissRate(tech, dist, pol)
-			if err != nil {
+		for bi := range all {
+			leak += evsAll[bi][i].Energy / evsAll[bi][i].Baseline
+			if err := missErrs[bi][i]; err != nil {
 				return nil, fmt.Errorf("experiments: pareto %q: %w", specs[i], err)
 			}
-			miss += rate
-			k++
+			miss += rates[bi][i]
 		}
 		n := float64(len(all))
 		points[i] = ParetoPoint{
@@ -192,16 +212,15 @@ func (s *Suite) TechniqueFamiliesTableContext(ctx context.Context, iCache bool, 
 	perBench := make([][]leakage.Policy, len(all))
 	cells := make([]Cell, 0, len(all)*(len(fixed)+1))
 	for bi, bd := range all {
-		dist := bd.ICache
+		dist, agg := bd.Side(iCache)
 		acc := bd.IEngine.Accuracy()
 		if !iCache {
-			dist = bd.DCache
 			acc = bd.DEngine.Accuracy()
 		}
 		pols := append(append([]leakage.Policy{}, fixed...), leakage.WayMemo{Accuracy: acc})
 		perBench[bi] = pols
 		for _, p := range pols {
-			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist,
+			cells = append(cells, Cell{Tech: tech, Policy: p, Dist: dist, Agg: agg,
 				Label: fmt.Sprintf("families/%s/%s", bd.Name, p.Name())})
 		}
 	}

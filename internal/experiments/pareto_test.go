@@ -247,3 +247,79 @@ func TestParsePolicyCompat(t *testing.T) {
 		t.Errorf("non-numeric ignored theta error = %v, want ErrUnknownPolicy", err)
 	}
 }
+
+// TestMarkFrontier covers the dominance pass's edge cases: duplicate
+// points, ties on one axis, and degenerate populations. The pass is a
+// pure deterministic function of the point values — index order never
+// affects who lands on the frontier.
+func TestMarkFrontier(t *testing.T) {
+	pt := func(leak, miss float64) ParetoPoint {
+		return ParetoPoint{NormalizedLeakage: leak, InducedMissRate: miss}
+	}
+	cases := []struct {
+		name   string
+		points []ParetoPoint
+		want   []bool
+	}{
+		{"empty", nil, nil},
+		{"single", []ParetoPoint{pt(0.5, 1)}, []bool{true}},
+		{"single duplicated", []ParetoPoint{pt(0.5, 1), pt(0.5, 1)}, []bool{true, true}},
+		{
+			// Coincident points are mutually non-dominating: both stay.
+			"duplicates among others",
+			[]ParetoPoint{pt(0.3, 2), pt(0.3, 2), pt(0.2, 3), pt(0.5, 2.5)},
+			[]bool{true, true, true, false},
+		},
+		{
+			// A tie on one axis with strict improvement on the other
+			// dominates.
+			"tie on leakage axis",
+			[]ParetoPoint{pt(0.4, 1), pt(0.4, 2)},
+			[]bool{true, false},
+		},
+		{
+			"tie on miss axis",
+			[]ParetoPoint{pt(0.4, 1), pt(0.3, 1)},
+			[]bool{false, true},
+		},
+		{
+			// A strict chain: only the best survives.
+			"chain",
+			[]ParetoPoint{pt(0.5, 3), pt(0.4, 2), pt(0.3, 1)},
+			[]bool{false, false, true},
+		},
+		{
+			// A proper frontier: each point trades one axis for the other.
+			"trade-off curve",
+			[]ParetoPoint{pt(0.2, 5), pt(0.3, 2), pt(0.5, 0), pt(0.4, 4), pt(0.6, 0)},
+			[]bool{true, true, true, false, false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := append([]ParetoPoint(nil), tc.points...)
+			markFrontier(pts)
+			for i := range pts {
+				if pts[i].Frontier != tc.want[i] {
+					t.Fatalf("point %d (%.2f, %.2f): frontier = %v, want %v",
+						i, pts[i].NormalizedLeakage, pts[i].InducedMissRate, pts[i].Frontier, tc.want[i])
+				}
+			}
+			// Index order must not matter: reverse and re-mark.
+			rev := make([]ParetoPoint, len(pts))
+			for i := range pts {
+				rev[len(pts)-1-i] = ParetoPoint{
+					NormalizedLeakage: pts[i].NormalizedLeakage,
+					InducedMissRate:   pts[i].InducedMissRate,
+				}
+			}
+			markFrontier(rev)
+			for i := range rev {
+				if rev[i].Frontier != tc.want[len(pts)-1-i] {
+					t.Fatalf("reversed point %d: frontier = %v, want %v",
+						i, rev[i].Frontier, tc.want[len(pts)-1-i])
+				}
+			}
+		})
+	}
+}

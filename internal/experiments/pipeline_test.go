@@ -61,7 +61,12 @@ func TestShardedSuiteMatchesSequential(t *testing.T) {
 // TestGridMatchesSequential is the golden check for the evaluation grid:
 // Figure 7, Figure 8 and Table 2 values computed through EvaluateGrid must
 // equal — bit for bit, not approximately — a sequential re-evaluation in
-// the original loop order.
+// the original loop order. The grid now evaluates through the aggregate
+// fast path (Cell.Agg), so the sequential oracle here is
+// leakage.EvaluateAggregate over the same cached summaries: scheduling
+// order must still never leak into the output. Fast-path agreement with
+// the reference bucket walk is pinned separately in
+// leakage.TestEvaluateAggregateMatchesReference.
 func TestGridMatchesSequential(t *testing.T) {
 	s := testSuiteShared
 	all, err := s.All()
@@ -79,7 +84,7 @@ func TestGridMatchesSequential(t *testing.T) {
 	wantAvg := make([]float64, len(policies))
 	for r, bd := range all {
 		for i, p := range policies {
-			ev, err := leakage.Evaluate(tech, bd.ICache, p)
+			ev, err := leakage.EvaluateAggregate(tech, bd.IAgg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,11 +111,11 @@ func TestGridMatchesSequential(t *testing.T) {
 	for ti, theta := range Figure7Thetas() {
 		var sSum, hSum float64
 		for _, bd := range all {
-			sEv, err := leakage.Evaluate(tech, bd.DCache, leakage.OPTSleep{Theta: theta})
+			sEv, err := leakage.EvaluateAggregate(tech, bd.DAgg, leakage.OPTSleep{Theta: theta})
 			if err != nil {
 				t.Fatal(err)
 			}
-			hEv, err := leakage.Evaluate(tech, bd.DCache, leakage.OPTHybrid{SleepTheta: theta})
+			hEv, err := leakage.EvaluateAggregate(tech, bd.DAgg, leakage.OPTHybrid{SleepTheta: theta})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,7 +141,7 @@ func TestGridMatchesSequential(t *testing.T) {
 		}
 		var sum float64
 		for _, bd := range all {
-			ev, err := leakage.Evaluate(tech, bd.DCache, pol)
+			ev, err := leakage.EvaluateAggregate(tech, bd.DAgg, pol)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -16,6 +16,7 @@ import (
 
 	"leakbound/internal/leakage"
 	"leakbound/internal/power"
+	"leakbound/internal/telemetry"
 )
 
 // Sentinel errors for query parsing; match with errors.Is.
@@ -147,13 +148,12 @@ func (s *Suite) EvaluateCellContext(ctx context.Context, benchmark string, iCach
 	if err != nil {
 		return CellEvaluation{}, err
 	}
-	dist := bd.ICache
+	dist, agg := bd.Side(iCache)
 	side := "i"
 	if !iCache {
-		dist = bd.DCache
 		side = "d"
 	}
-	evs, err := s.EvaluateGrid(ctx, []Cell{{Tech: tech, Policy: pol, Dist: dist,
+	evs, err := s.EvaluateGrid(ctx, []Cell{{Tech: tech, Policy: pol, Dist: dist, Agg: agg,
 		Label: fmt.Sprintf("query/%s/%s/%s/%s", benchmark, side, tech.Name, pol.Name())}})
 	if err != nil {
 		return CellEvaluation{}, err
@@ -187,9 +187,15 @@ type ParamSweepPoint struct {
 // SweepParamContext generalizes Figure 7 into a parameterized query over
 // any declared scheme parameter: for each value it builds the scheme with
 // that parameter substituted, evaluates it on every benchmark's chosen
-// cache at tech, and averages — the cells run concurrently on the grid,
-// the reduction in deterministic loop order. An empty param selects the
-// scheme's positional parameter.
+// cache at tech, and averages. An empty param selects the scheme's
+// positional parameter.
+//
+// Dense sweeps are the aggregate kernel's home turf: each benchmark task
+// answers the whole value list in one leakage.EvaluateMany pass over the
+// suite's cached prefix aggregates — O(values x log buckets) per
+// benchmark instead of the pre-aggregate O(values x buckets) walk — and
+// the reduction runs in deterministic value-major, benchmark-inner order,
+// matching the sequential loop the grid path used.
 func (s *Suite) SweepParamContext(ctx context.Context, scheme, param string, iCache bool, tech power.Technology, values []leakage.ParamValue) ([]ParamSweepPoint, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("%w: empty parameter sweep", ErrBadOption)
@@ -209,37 +215,50 @@ func (s *Suite) SweepParamContext(ctx context.Context, scheme, param string, iCa
 	if _, ok := reg.Schema(param); !ok {
 		return nil, fmt.Errorf("%w: scheme %q has no parameter %q", ErrUnknownPolicy, scheme, param)
 	}
+	pols := make([]leakage.Policy, len(values))
+	for vi, v := range values {
+		pol, err := BuildPolicy(leakage.PolicySpec{Scheme: name, Params: leakage.Params{param: v}}, tech)
+		if err != nil {
+			return nil, err
+		}
+		pols[vi] = pol
+	}
 	all, err := s.AllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]Cell, 0, len(values)*len(all))
-	for _, v := range values {
-		spec := leakage.PolicySpec{Scheme: name, Params: leakage.Params{param: v}}
-		pol, err := BuildPolicy(spec, tech)
-		if err != nil {
-			return nil, err
-		}
-		for _, bd := range all {
-			dist := bd.ICache
-			if !iCache {
-				dist = bd.DCache
+	sc := s.metrics.Scope("sweep")
+	res := make([][]leakage.Evaluation, len(all))
+	pool := telemetry.NewPoolIn(s.metrics, s.poolWorkers())
+	for bi, bd := range all {
+		bi, bd := bi, bd
+		pool.Go(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			cells = append(cells, Cell{Tech: tech, Policy: pol, Dist: dist,
-				Label: fmt.Sprintf("sweep/%s/%s", spec, bd.Name)})
-		}
+			_, agg := bd.Side(iCache)
+			evs, err := leakage.EvaluateMany(tech, agg, pols)
+			if err != nil {
+				return fmt.Errorf("experiments: sweep %s/%s: %w", name, bd.Name, err)
+			}
+			res[bi] = evs
+			return nil
+		})
 	}
-	evs, err := s.EvaluateGrid(ctx, cells)
+	err = pool.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if err != nil {
 		return nil, err
 	}
+	sc.Counter("points").Add(uint64(len(values)))
+	sc.Counter("evaluations").Add(uint64(len(values) * len(all)))
 	out := make([]ParamSweepPoint, 0, len(values))
-	k := 0
-	for _, v := range values {
+	for vi, v := range values {
 		var sum float64
-		for range all {
-			sum += evs[k].Savings
-			k++
+		for bi := range all {
+			sum += res[bi][vi].Savings
 		}
 		out = append(out, ParamSweepPoint{Value: v, Savings: sum / float64(len(all))})
 	}

@@ -61,6 +61,32 @@ type BenchmarkData struct {
 	// capture most misses).
 	IEngine prefetch.EngineStats
 	DEngine prefetch.EngineStats
+	// IAgg, DAgg and L2Agg are the prefix-aggregate summaries of the three
+	// distributions (interval.Aggregates), built once when the benchmark is
+	// produced and shared by every dense sweep and Pareto population. They
+	// are read-only after construction and safe for concurrent use.
+	IAgg  *interval.Aggregates
+	DAgg  *interval.Aggregates
+	L2Agg *interval.Aggregates
+}
+
+// buildAggregates summarizes the three distributions. Called once on the
+// producing goroutine before the BenchmarkData is shared: the walk also
+// compacts each distribution's tail, so later concurrent walks are
+// race-free (see interval.Distribution.Each).
+func (d *BenchmarkData) buildAggregates() {
+	d.IAgg = interval.NewAggregates(d.ICache)
+	d.DAgg = interval.NewAggregates(d.DCache)
+	d.L2Agg = interval.NewAggregates(d.L2Cache)
+}
+
+// Side returns the distribution and its aggregates for one L1 side
+// (true = I-cache, false = D-cache).
+func (d *BenchmarkData) Side(iCache bool) (*interval.Distribution, *interval.Aggregates) {
+	if iCache {
+		return d.ICache, d.IAgg
+	}
+	return d.DCache, d.DAgg
 }
 
 // Suite lazily simulates benchmarks at a fixed scale and caches results.
@@ -156,6 +182,7 @@ func (s *Suite) DataContext(ctx context.Context, name string) (*BenchmarkData, e
 // the same name.
 func (s *Suite) produce(ctx context.Context, name string) (*BenchmarkData, error) {
 	if d := s.loadCached(name); d != nil {
+		d.buildAggregates()
 		return d, nil
 	}
 	//lint:ignore determinism wall clock feeds the sim_ms/sim_ns telemetry only, never the simulation products
@@ -180,6 +207,7 @@ func (s *Suite) produce(ctx context.Context, name string) (*BenchmarkData, error
 	sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
 	sc.Histogram("sim_ns").Record(uint64(elapsed.Nanoseconds()))
 	s.storeCached(d)
+	d.buildAggregates()
 	return d, nil
 }
 

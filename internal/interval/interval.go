@@ -238,8 +238,21 @@ func (d *Distribution) NumIntervals() uint64 { return d.numIntervals }
 func (d *Distribution) Mass() uint64 { return d.mass }
 
 // Each calls fn for every (length, flags, count) bucket in deterministic
-// order (ascending length, then flags). Iteration stops if fn returns
+// order: ascending length, ties broken by ascending flags value — i.e.
+// lexicographic (length, flags). Within one flags class the lengths are
+// therefore strictly ascending, which is the invariant the prefix-sum
+// aggregate builder (NewAggregates) and the bit-identical reduction
+// discipline both depend on. The order is independent of insertion order,
+// of Merge (rows add positionally; tail logs concatenate and re-sort on
+// the next walk), and of compact (sorting by the packed length<<6|flags
+// key IS the (length, flags) order; dense lengths are all below the tail's
+// denseLimit floor, so the dense walk strictly precedes the tail walk).
+// TestEachOrderDeterministic pins this. Iteration stops if fn returns
 // false.
+//
+// The first Each after new tail appends compacts the tail in place, so it
+// must not race with other walks; walk once (e.g. via NewAggregates) on
+// the goroutine that finished the distribution before sharing it.
 func (d *Distribution) Each(fn func(length uint64, flags Flags, count uint64) bool) {
 	var max uint64
 	for _, f := range d.present {

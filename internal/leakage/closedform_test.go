@@ -1,0 +1,290 @@
+package leakage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"leakbound/internal/interval"
+	"leakbound/internal/power"
+)
+
+// testPolicies returns one representative per builtin policy type,
+// covering every threshold shape: defaults, overrides below/above the
+// inflection points, degenerate windows.
+func testPolicies(t power.Technology) []Policy {
+	_, b, err := t.InflectionPoints()
+	if err != nil {
+		b = 5000
+	}
+	return []Policy{
+		AlwaysActive{},
+		OPTDrowsy{},
+		OPTSleep{Theta: 0},
+		OPTSleep{Theta: 10},
+		OPTSleep{Theta: uint64(b)},
+		OPTSleep{Theta: 10000},
+		SleepDecay{Theta: 0},
+		SleepDecay{Theta: 10000},
+		OPTHybrid{},
+		OPTHybrid{SleepTheta: 3},
+		OPTHybrid{SleepTheta: 10000},
+		PeriodicDrowsy{Window: 0},
+		PeriodicDrowsy{Window: 7},
+		PeriodicDrowsy{Window: 2000},
+		PrefetchA(),
+		PrefetchB(),
+		AMCSleep{Theta: 10000, TagFraction: 0.06},
+		AMCSleep{Theta: 0, TagFraction: 0.5},
+		DirtyAwareHybrid{},
+		DeadAwareHybrid{},
+		Coloring{Colors: 8, Frames: 1024},
+		Coloring{Colors: 1024, Frames: 1024},
+		Coloring{Colors: 0, Frames: 0}, // degenerate: never gates
+		WayMemo{Accuracy: 0.9},
+		WayMemo{Accuracy: 1},
+		WayMemo{Accuracy: 0},
+	}
+}
+
+// curveTestLengths returns the probe lengths for one curve: every cut's
+// integer neighborhood plus a spread of interior points, so every piece
+// and every boundary decision is exercised.
+func curveTestLengths(c Curve) []uint64 {
+	set := map[uint64]bool{}
+	add := func(l float64) {
+		if l < 1 || math.IsInf(l, 0) || math.IsNaN(l) || l > 1e15 {
+			return
+		}
+		u := uint64(l)
+		for d := -2; d <= 2; d++ {
+			if v := int64(u) + int64(d); v >= 1 {
+				set[uint64(v)] = true
+			}
+		}
+	}
+	for _, cut := range c.Cuts {
+		add(cut)
+		add(math.Ceil(cut))
+	}
+	for _, l := range []uint64{1, 2, 3, 5, 6, 7, 36, 37, 38, 100, 1000, 1057, 5088, 10327, 10328, 10329, 103084, 1 << 20, 1 << 40} {
+		set[l] = true
+	}
+	out := make([]uint64, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	return out
+}
+
+func relClose(a, b, relTol, absTol float64) bool {
+	d := math.Abs(a - b)
+	if d <= absTol {
+		return true
+	}
+	return d <= relTol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestClosedFormsMatchReference checks every builtin policy's
+// EnergyCurve and MissCurve pointwise against its IntervalEnergy and
+// IntervalMisses, for every flags value, at every builtin technology
+// node, on lengths bracketing every curve cut. Energies may differ only
+// by float regrouping (tight relative tolerance); miss counts must match
+// exactly — their curves use the very same threshold comparisons.
+func TestClosedFormsMatchReference(t *testing.T) {
+	for _, tech := range power.Technologies() {
+		for _, pol := range testPolicies(tech) {
+			cf, ok := pol.(ClosedForm)
+			if !ok {
+				t.Fatalf("%s (%T) does not declare a ClosedForm", pol.Name(), pol)
+			}
+			mc, ok := pol.(MissClosedForm)
+			if !ok {
+				t.Fatalf("%s (%T) does not declare a MissClosedForm", pol.Name(), pol)
+			}
+			mm := pol.(MissModel)
+			for f := 0; f < 64; f++ {
+				flags := interval.Flags(f)
+				curve, ok := cf.EnergyCurve(tech, flags)
+				if !ok {
+					t.Fatalf("%s: EnergyCurve !ok for flags %v", pol.Name(), flags)
+				}
+				missCurve, ok := mc.MissCurve(tech, flags)
+				if !ok {
+					t.Fatalf("%s: MissCurve !ok for flags %v", pol.Name(), flags)
+				}
+				if len(curve.Consts) != len(curve.Cuts)+1 || len(curve.Slopes) != len(curve.Consts) {
+					t.Fatalf("%s flags %v: ragged curve %d cuts / %d consts / %d slopes",
+						pol.Name(), flags, len(curve.Cuts), len(curve.Consts), len(curve.Slopes))
+				}
+				for i := 1; i < len(curve.Cuts); i++ {
+					if curve.Cuts[i] < curve.Cuts[i-1] {
+						t.Fatalf("%s flags %v: cuts not ascending: %v", pol.Name(), flags, curve.Cuts)
+					}
+				}
+				for _, L := range curveTestLengths(curve) {
+					want := pol.IntervalEnergy(tech, L, flags)
+					got := curve.Eval(float64(L))
+					if !relClose(got, want, 1e-9, 1e-9) {
+						t.Fatalf("%s @%s flags=%v L=%d: curve %.17g, reference %.17g",
+							pol.Name(), tech.Name, flags, L, got, want)
+					}
+				}
+				for _, L := range curveTestLengths(missCurve) {
+					want := mm.IntervalMisses(tech, L, flags)
+					got := missCurve.Eval(float64(L))
+					if got != want {
+						t.Fatalf("%s @%s flags=%v L=%d: miss curve %g, reference %g",
+							pol.Name(), tech.Name, flags, L, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomDistribution builds a distribution with dense and tail buckets
+// across random flags classes; integer lengths straddle every builtin
+// threshold regime.
+func randomDistribution(rng *rand.Rand) *interval.Distribution {
+	d := interval.NewDistribution(uint32(rng.Intn(64)+1), 1<<22)
+	n := rng.Intn(300) + 1
+	for i := 0; i < n; i++ {
+		var length uint64
+		switch rng.Intn(4) {
+		case 0:
+			length = uint64(rng.Intn(64)) + 1 // around the overheads
+		case 1:
+			length = uint64(rng.Intn(8192)) + 1 // dense row range
+		case 2:
+			length = uint64(rng.Intn(200000)) + 8000 // tail, around b
+		default:
+			length = uint64(rng.Intn(1 << 21)) // deep tail
+		}
+		if length == 0 {
+			length = 1
+		}
+		d.Add(length, interval.Flags(rng.Intn(64)), uint64(rng.Intn(50)+1))
+	}
+	return d
+}
+
+// TestEvaluateAggregateMatchesReference is the randomized property test
+// of the tentpole: fast-path and reference evaluations agree to
+// ulp-scale relative error on every builtin policy over randomized
+// distributions, and the induced-miss folds agree exactly. Run it under
+// -race (make race) to also pin the aggregates' concurrent-read safety.
+func TestEvaluateAggregateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	techs := power.Technologies()
+	for iter := 0; iter < 60; iter++ {
+		d := randomDistribution(rng)
+		agg := interval.NewAggregates(d)
+		tech := techs[rng.Intn(len(techs))]
+		for _, pol := range testPolicies(tech) {
+			ref, refErr := Evaluate(tech, d, pol)
+			fast, fastErr := EvaluateAggregate(tech, agg, pol)
+			if (refErr == nil) != (fastErr == nil) {
+				t.Fatalf("iter %d %s: error mismatch: ref %v, fast %v", iter, pol.Name(), refErr, fastErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			if fast.Policy != ref.Policy || fast.Baseline != ref.Baseline {
+				t.Fatalf("iter %d %s: metadata mismatch: %+v vs %+v", iter, pol.Name(), fast, ref)
+			}
+			if !relClose(fast.Energy, ref.Energy, 1e-9, 1e-12) {
+				t.Fatalf("iter %d %s @%s: energy fast %.17g, ref %.17g (rel %.3g)",
+					iter, pol.Name(), tech.Name, fast.Energy, ref.Energy,
+					math.Abs(fast.Energy-ref.Energy)/math.Abs(ref.Energy))
+			}
+			if math.Abs(fast.Savings-ref.Savings) > 1e-9 {
+				t.Fatalf("iter %d %s: savings fast %.17g, ref %.17g", iter, pol.Name(), fast.Savings, ref.Savings)
+			}
+			refMiss, refMissErr := InducedMissRate(tech, d, pol)
+			fastMiss, fastMissErr := InducedMissRateAggregate(tech, agg, pol)
+			if (refMissErr == nil) != (fastMissErr == nil) {
+				t.Fatalf("iter %d %s: miss error mismatch: ref %v, fast %v", iter, pol.Name(), refMissErr, fastMissErr)
+			}
+			if refMissErr == nil && !relClose(fastMiss, refMiss, 1e-12, 1e-12) {
+				t.Fatalf("iter %d %s: miss rate fast %.17g, ref %.17g", iter, pol.Name(), fastMiss, refMiss)
+			}
+		}
+	}
+}
+
+// TestEvaluateManyMatchesEvaluateAll pins the batched kernel against the
+// reference batch API on a shared distribution.
+func TestEvaluateManyMatchesEvaluateAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDistribution(rng)
+	agg := interval.NewAggregates(d)
+	tech := power.Default()
+	pols := testPolicies(tech)
+	ref, err := EvaluateAll(tech, d, pols)
+	if err != nil {
+		t.Fatalf("EvaluateAll: %v", err)
+	}
+	fast, err := EvaluateMany(tech, agg, pols)
+	if err != nil {
+		t.Fatalf("EvaluateMany: %v", err)
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("length mismatch: %d vs %d", len(fast), len(ref))
+	}
+	for i := range ref {
+		if fast[i].Policy != ref[i].Policy || !relClose(fast[i].Energy, ref[i].Energy, 1e-9, 1e-12) {
+			t.Fatalf("policy %d (%s): %+v vs %+v", i, ref[i].Policy, fast[i], ref[i])
+		}
+	}
+}
+
+// noClosedForm is a custom policy without a declared closed form: the
+// fast path must transparently fall back to the reference walk.
+type noClosedForm struct{}
+
+func (noClosedForm) Name() string { return "custom-opaque" }
+func (noClosedForm) IntervalEnergy(t power.Technology, length uint64, flags interval.Flags) float64 {
+	// Deliberately non-affine in length.
+	return t.PActive * math.Sqrt(float64(length))
+}
+
+func TestEvaluateAggregateFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDistribution(rng)
+	agg := interval.NewAggregates(d)
+	tech := power.Default()
+	ref, err := Evaluate(tech, d, noClosedForm{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	fast, err := EvaluateAggregate(tech, agg, noClosedForm{})
+	if err != nil {
+		t.Fatalf("EvaluateAggregate: %v", err)
+	}
+	if fast != ref {
+		t.Fatalf("fallback must be bit-identical to the reference: %+v vs %+v", fast, ref)
+	}
+	if _, err := InducedMissesAggregate(tech, agg, noClosedForm{}); !errors.Is(err, ErrNoMissModel) {
+		t.Fatalf("want ErrNoMissModel for a policy without a miss model, got %v", err)
+	}
+}
+
+// TestEvaluateAggregateErrors pins the sentinel parity with Evaluate.
+func TestEvaluateAggregateErrors(t *testing.T) {
+	tech := power.Default()
+	if _, err := EvaluateAggregate(tech, nil, AlwaysActive{}); !errors.Is(err, ErrNilDistribution) {
+		t.Fatalf("nil aggregates: want ErrNilDistribution, got %v", err)
+	}
+	empty := interval.NewAggregates(interval.NewDistribution(4, 0))
+	if _, err := EvaluateAggregate(tech, empty, AlwaysActive{}); !errors.Is(err, ErrEmptyDistribution) {
+		t.Fatalf("zero mass: want ErrEmptyDistribution, got %v", err)
+	}
+	if _, err := EvaluateAggregate(tech, empty, nil); !errors.Is(err, ErrNilPolicy) {
+		t.Fatalf("nil policy: want ErrNilPolicy, got %v", err)
+	}
+	if _, err := InducedMissRateAggregate(tech, empty, AlwaysActive{}); !errors.Is(err, ErrEmptyDistribution) {
+		t.Fatalf("no intervals: want ErrEmptyDistribution, got %v", err)
+	}
+}

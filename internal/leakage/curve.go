@@ -1,0 +1,240 @@
+package leakage
+
+// Piecewise-affine energy curves: the closed-form backbone of the
+// aggregate fast path. Every builtin policy's IntervalEnergy, for a fixed
+// flags value, is piecewise affine in the interval length with at most a
+// handful of pieces (a threshold theta, a drowse window, an accuracy
+// cutoff), so a policy evaluation over a whole distribution collapses to,
+// per piece, const*count + slope*mass of the lengths falling in the
+// piece — two prefix-sum lookups (interval.FlagsClass.Prefix) instead of
+// a walk over every bucket.
+//
+// Branch-boundary discipline: the reference implementations all branch on
+// strict "float64(length) > threshold" comparisons (or their negations),
+// and Prefix answers "float64(length) <= cut", so a Curve cut placed at
+// the threshold reproduces the reference's branch decisions exactly.
+// Conditions of the form "length >= k" with integer k are encoded as a
+// cut at k - 0.5 (interval lengths are integers, so no length falls
+// between). The only inexactness the fast path admits is floating-point
+// reassociation: a piece's const+slope*L regroups the reference's
+// arithmetic, and prefix sums reorder the additions — both bounded by
+// ulp-scale relative error, pinned by TestClosedFormsMatchReference.
+
+import (
+	"math"
+	"sort"
+)
+
+// Curve is a piecewise-affine function of interval length L > 0.
+// Segment i covers (Cuts[i-1], Cuts[i]] (with Cuts[-1] = 0 and
+// Cuts[len(Cuts)] = +inf implied) and has value Consts[i] + Slopes[i]*L.
+// Cuts ascend; len(Consts) == len(Slopes) == len(Cuts)+1.
+type Curve struct {
+	Cuts   []float64
+	Consts []float64
+	Slopes []float64
+}
+
+// Eval returns the curve's value at length L.
+func (c Curve) Eval(L float64) float64 {
+	i := sort.Search(len(c.Cuts), func(i int) bool { return L <= c.Cuts[i] })
+	return c.Consts[i] + c.Slopes[i]*L
+}
+
+// segments returns the number of affine pieces.
+func (c Curve) segments() int { return len(c.Consts) }
+
+// affine returns the single-piece curve const + slope*L.
+func affine(cnst, slope float64) Curve {
+	return Curve{Consts: []float64{cnst}, Slopes: []float64{slope}}
+}
+
+// constant returns the single-piece constant curve.
+func constant(v float64) Curve { return affine(v, 0) }
+
+// plusConst shifts every piece up by k.
+func (c Curve) plusConst(k float64) Curve {
+	if k == 0 {
+		return c
+	}
+	out := Curve{Cuts: c.Cuts, Consts: make([]float64, len(c.Consts)), Slopes: c.Slopes}
+	for i, v := range c.Consts {
+		out.Consts[i] = v + k
+	}
+	return out
+}
+
+// plusSlope adds k to every piece's slope (e.g. an always-leaking decay
+// counter).
+func (c Curve) plusSlope(k float64) Curve {
+	if k == 0 {
+		return c
+	}
+	out := Curve{Cuts: c.Cuts, Consts: c.Consts, Slopes: make([]float64, len(c.Slopes))}
+	for i, v := range c.Slopes {
+		out.Slopes[i] = v + k
+	}
+	return out
+}
+
+// switchAt composes the curve that equals low for L <= cut and high for
+// L > cut — the shape of every "length > theta" policy branch. A cut <= 0
+// (or NaN) selects high everywhere; +inf selects low everywhere.
+func switchAt(cut float64, low, high Curve) Curve {
+	if !(cut > 0) {
+		return high
+	}
+	if math.IsInf(cut, 1) {
+		return low
+	}
+	var out Curve
+	for i := 0; i < low.segments(); i++ {
+		end := math.Inf(1)
+		if i < len(low.Cuts) {
+			end = low.Cuts[i]
+		}
+		start := 0.0
+		if i > 0 {
+			start = low.Cuts[i-1]
+		}
+		if start >= cut {
+			break
+		}
+		segEnd := end
+		if segEnd > cut {
+			segEnd = cut
+		}
+		out.Cuts = append(out.Cuts, segEnd)
+		out.Consts = append(out.Consts, low.Consts[i])
+		out.Slopes = append(out.Slopes, low.Slopes[i])
+		if end >= cut {
+			break
+		}
+	}
+	for i := 0; i < high.segments(); i++ {
+		end := math.Inf(1)
+		if i < len(high.Cuts) {
+			end = high.Cuts[i]
+		}
+		if end <= cut {
+			continue // piece entirely below the switch point
+		}
+		if i < len(high.Cuts) {
+			out.Cuts = append(out.Cuts, end)
+		}
+		out.Consts = append(out.Consts, high.Consts[i])
+		out.Slopes = append(out.Slopes, high.Slopes[i])
+	}
+	return out
+}
+
+// pickBelow composes the curve that equals alt wherever alt(L) is
+// strictly below base(L), and base elsewhere — the dead-oracle's "gate
+// whenever CD-free sleep beats the drowsy schedule" selection. Affine
+// pieces cross at most once, so each elementary segment of the merged cut
+// set splits at most once at the analytic crossover; both sides agree at
+// the crossover itself, so any ulp-level disagreement with the
+// reference's per-bucket comparison moves only values equal to within
+// ulps.
+func pickBelow(base, alt Curve) Curve {
+	cuts := make([]float64, 0, len(base.Cuts)+len(alt.Cuts))
+	cuts = append(cuts, base.Cuts...)
+	cuts = append(cuts, alt.Cuts...)
+	sort.Float64s(cuts)
+	var out Curve
+	emit := func(end float64, c Curve, seg int) {
+		if !math.IsInf(end, 1) {
+			out.Cuts = append(out.Cuts, end)
+		}
+		out.Consts = append(out.Consts, c.Consts[seg])
+		out.Slopes = append(out.Slopes, c.Slopes[seg])
+	}
+	lo := 0.0
+	for k := 0; k <= len(cuts); k++ {
+		hi := math.Inf(1)
+		if k < len(cuts) {
+			hi = cuts[k]
+		}
+		if hi <= lo {
+			continue // duplicate boundary
+		}
+		bi := segIndex(base, hi)
+		ai := segIndex(alt, hi)
+		bc, bs := base.Consts[bi], base.Slopes[bi]
+		ac, as := alt.Consts[ai], alt.Slopes[ai]
+		// Crossover of the two affine pieces inside (lo, hi), if any.
+		bounds := []float64{hi}
+		if bs != as {
+			if x := (ac - bc) / (bs - as); x > lo && x < hi {
+				bounds = []float64{x, hi}
+			}
+		}
+		for _, end := range bounds {
+			probe := (lo + end) / 2
+			if math.IsInf(end, 1) {
+				probe = lo + 1
+			}
+			if ac+as*probe < bc+bs*probe {
+				emit(end, alt, ai)
+			} else {
+				emit(end, base, bi)
+			}
+			lo = end
+		}
+	}
+	return out
+}
+
+// segIndex returns the index of the piece whose range contains lengths
+// just below end (i.e. the piece covering (prevCut, end]).
+func segIndex(c Curve, end float64) int {
+	return sort.Search(len(c.Cuts), func(i int) bool { return end <= c.Cuts[i] })
+}
+
+// tagTransform applies the AMC tag-array correction to a decay base
+// curve: wherever the base gated anything (slept(L) = PActive*L - base(L)
+// > 0) the tag's share tf of the savings is given back, i.e. the value
+// becomes (1-tf)*base(L) + tf*PActive*L. Per base piece slept is affine,
+// so the sign changes at most once per piece.
+func tagTransform(base Curve, tf, pActive float64) Curve {
+	var out Curve
+	emit := func(end, cnst, slope float64) {
+		if !math.IsInf(end, 1) {
+			out.Cuts = append(out.Cuts, end)
+		}
+		out.Consts = append(out.Consts, cnst)
+		out.Slopes = append(out.Slopes, slope)
+	}
+	lo := 0.0
+	for i := 0; i < base.segments(); i++ {
+		hi := math.Inf(1)
+		if i < len(base.Cuts) {
+			hi = base.Cuts[i]
+		}
+		if hi <= lo {
+			continue
+		}
+		cnst, slope := base.Consts[i], base.Slopes[i]
+		// slept(L) = (pActive-slope)*L - cnst; transformed piece value:
+		tc, ts := (1-tf)*cnst, slope+tf*(pActive-slope)
+		bounds := []float64{hi}
+		if d := pActive - slope; d != 0 {
+			if x := cnst / d; x > lo && x < hi {
+				bounds = []float64{x, hi}
+			}
+		}
+		for _, end := range bounds {
+			probe := (lo + end) / 2
+			if math.IsInf(end, 1) {
+				probe = lo + 1
+			}
+			if pActive*probe-(cnst+slope*probe) > 0 {
+				emit(end, tc, ts)
+			} else {
+				emit(end, cnst, slope)
+			}
+			lo = end
+		}
+	}
+	return out
+}

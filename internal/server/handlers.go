@@ -576,7 +576,10 @@ func sweepThetas(csv, fromStr, toStr, pointsStr string) ([]uint64, error) {
 		}
 		return out, nil
 	}
-	from, to, points := uint64(1057), uint64(10000), 12
+	// 256 dense default points: the aggregate fast path answers a sweep
+	// point in O(log buckets), so the full ladder costs what a dozen
+	// points used to.
+	from, to, points := uint64(1057), uint64(10000), 256
 	var err error
 	if fromStr != "" {
 		if from, err = strconv.ParseUint(fromStr, 10, 64); err != nil || from == 0 {
