@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vulncheck bench bench-json bench-gate cover test-parallel smoke fuzz-regress
+.PHONY: build test race lint vulncheck bench bench-json bench-gate cover test-parallel smoke fuzz-regress check-specs
 
 build:
 	$(GO) build ./...
@@ -67,7 +67,7 @@ bench-json:
 # report without failing; GATE_FLAGS+='-summary $$GITHUB_STEP_SUMMARY'
 # in CI to publish the comparison table.
 bench-gate:
-	$(GO) test -run '^$$' -bench '^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1|BenchmarkSweepDense256Reference|BenchmarkSweepDense256Aggregates|BenchmarkParetoPopulation)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkSuiteAll|BenchmarkPipelineSimulateGzip|BenchmarkPipelineSimulateGzipSharded|BenchmarkGridFigure8Workers1|BenchmarkSweepDense256Reference|BenchmarkSweepDense256Aggregates|BenchmarkParetoPopulation|BenchmarkSpecCompile|BenchmarkReplayPass)$$' \
 		-benchmem -benchtime 100ms -count 3 . | $(GO) run ./cmd/benchsnap -compare . $(GATE_FLAGS)
 
 cover:
@@ -80,7 +80,12 @@ smoke:
 	GO=$(GO) sh scripts/smoke_leakaged.sh
 
 # Replay the seed corpus of every fuzz target as plain tests (no fuzzing
-# time budget needed) — the regression net for the trace codec and the
-# query parser.
+# time budget needed) — the regression net for the trace codec, the query
+# parser, and the workload-spec parser.
 fuzz-regress:
-	$(GO) test -run=Fuzz ./internal/sim/trace/ ./internal/experiments/ ./internal/leakage/
+	$(GO) test -run=Fuzz ./internal/sim/trace/ ./internal/experiments/ ./internal/leakage/ ./internal/workload/spec/
+
+# Validate every committed example workload spec (parse + strict
+# validation + digest) via the tracegen -check path CI and users share.
+check-specs:
+	$(GO) run ./cmd/tracegen -check examples/specs

@@ -8,6 +8,7 @@ package leakbound_test
 // summary.
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"leakbound/internal/leakage"
 	"leakbound/internal/power"
 	"leakbound/internal/workload"
+	"leakbound/internal/workload/spec"
 )
 
 // benchScale keeps full-suite simulation around a few seconds; EXPERIMENTS.md
@@ -467,6 +469,78 @@ func BenchmarkSweepDense256Aggregates(b *testing.B) {
 		}
 		benchSink = sink
 	}
+}
+
+// benchSpecJSON is a representative two-phase workload spec (kernel mix,
+// schedule shaping, cold code) for the spec-subsystem benches below.
+var benchSpecJSON = []byte(`{
+  "version": 1, "name": "bench-spec", "seed": 7,
+  "phases": [
+    {"name": "serve", "body_instrs": 2000, "iterations": 400, "mem_every": 4,
+     "schedule": {"kind": "bursty", "steps": 4, "duty": 0.25},
+     "mix": [
+       {"kernel": "hot", "weight": 8, "lines": 12},
+       {"kernel": "loop", "weight": 3, "bytes": 262144, "stride": 128},
+       {"kernel": "chase", "weight": 2, "elems": 4096, "elem_bytes": 64}
+     ]},
+    {"name": "drain", "body_instrs": 2400, "iterations": 200,
+     "cold_code_bytes": 8192,
+     "schedule": {"kind": "drain", "steps": 4},
+     "mix": [
+       {"kernel": "stride", "weight": 2, "bytes": 524288, "block": 16384, "stride": 128},
+       {"kernel": "loop", "weight": 1, "bytes": 131072, "store": true}
+     ]}
+  ]
+}`)
+
+// BenchmarkSpecCompile is the declarative front door's fixed cost: parse,
+// validate, canonicalize, and lower a two-phase spec onto the workload
+// Builder. This runs once per POSTed spec before any simulation, so it
+// must stay microseconds, not milliseconds.
+func BenchmarkSpecCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp, err := spec.Parse(benchSpecJSON)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sp.Compile(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayPass measures one full Emit pass over a recorded trace —
+// the replay side of the record/replay scenario path. Instruction delivery
+// from the decoded recording must not be slower than generating the same
+// stream from the spec.
+func BenchmarkReplayPass(b *testing.B) {
+	sp, err := spec.Parse(benchSpecJSON)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := sp.Workload(0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := spec.Record(&buf, wl); err != nil {
+		b.Fatal(err)
+	}
+	rp, err := spec.ReadReplay(bytes.NewReader(buf.Bytes()), "bench-replay")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		rp.Emit(func(in workload.Instr) bool {
+			n++
+			return true
+		})
+	}
+	b.ReportMetric(float64(rp.Len()), "instrs/pass")
+	benchSink = float64(n)
 }
 
 // BenchmarkParetoPopulation populates the default Pareto frontier (both

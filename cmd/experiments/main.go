@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-scale f] [-workers n] [-timeout d] [-only item[,item...]]
+//	            [-specs dir]
 //
 // where item is one of: fig1, table1, table2, table3, fig7, fig8, fig9,
 // fig10, profile, extensions, policies, pareto, families, sweep. With no
@@ -12,6 +13,9 @@
 // "families" the related-work technique families against the bound, and
 // "sweep" (opt-in only, never in the default run) a 256-point dense theta
 // sweep per cache side through the aggregate evaluation kernel.
+// -specs loads a directory of declarative workload specs (.json) and
+// recorded traces (.trc) as extra benchmarks evaluated alongside the
+// built-in six in every table, sweep, and frontier.
 // -scale stretches the benchmark lengths (1.0 = the full study length);
 // -workers bounds the parallel pipeline (benchmark fan-out, per-benchmark
 // collection shards, and evaluation-grid workers; 0 = GOMAXPROCS);
@@ -41,6 +45,7 @@ import (
 	"leakbound/internal/power"
 	"leakbound/internal/report"
 	"leakbound/internal/telemetry"
+	"leakbound/internal/workload/spec"
 )
 
 func main() {
@@ -49,6 +54,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	only := flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig7,fig8,fig9,fig10,profile,extensions,policies,pareto,families,sweep")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
+	specsDir := flag.String("specs", "", "directory of workload specs (.json) and recordings (.trc) to evaluate alongside the built-in benchmarks")
 	format := flag.String("format", "text", "output format: text, markdown, or csv")
 	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -65,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	err = run(ctx, *scale, *workers, *only, *cacheDir, *format)
+	err = run(ctx, *scale, *workers, *only, *cacheDir, *specsDir, *format)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "experiments: aborted:", err)
 	}
@@ -78,7 +84,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scale float64, workers int, only, cacheDir, format string) error {
+func run(ctx context.Context, scale float64, workers int, only, cacheDir, specsDir, format string) error {
 	var render func(*report.Table) error
 	switch format {
 	case "text":
@@ -90,11 +96,23 @@ func run(ctx context.Context, scale float64, workers int, only, cacheDir, format
 	default:
 		return fmt.Errorf("unknown -format %q (want text, markdown, or csv)", format)
 	}
-	suite, err := experiments.New(
+	opts := []experiments.Option{
 		experiments.WithScale(scale),
 		experiments.WithWorkers(workers),
 		experiments.WithCacheDir(cacheDir),
-	)
+	}
+	if specsDir != "" {
+		srcs, err := spec.LoadDir(specsDir)
+		if err != nil {
+			return err
+		}
+		scs := make([]experiments.Scenario, len(srcs))
+		for i, src := range srcs {
+			scs[i] = src
+		}
+		opts = append(opts, experiments.WithScenarios(scs...))
+	}
+	suite, err := experiments.New(opts...)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -12,7 +14,7 @@ import (
 func TestRunSubsets(t *testing.T) {
 	// Static items are fast; simulated items run at a tiny scale.
 	for _, only := range []string{"fig1", "table1", "table3", "fig10"} {
-		if err := run(context.Background(), 0.02, 0, only, "", "text"); err != nil {
+		if err := run(context.Background(), 0.02, 0, only, "", "", "text"); err != nil {
 			t.Errorf("run(%q): %v", only, err)
 		}
 	}
@@ -22,24 +24,41 @@ func TestRunSimulatedSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulates the full suite")
 	}
-	if err := run(context.Background(), 0.02, 2, "fig8,fig9", "", "markdown"); err != nil {
+	if err := run(context.Background(), 0.02, 2, "fig8,fig9", "", "", "markdown"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(context.Background(), 0, 0, "table1", "", "text"); err == nil {
+	if err := run(context.Background(), 0, 0, "table1", "", "", "text"); err == nil {
 		t.Error("zero scale accepted")
 	}
-	if err := run(context.Background(), 0.02, 0, "table1", "", "html"); err == nil {
+	if err := run(context.Background(), 0.02, 0, "table1", "", "", "html"); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
 
 func TestRunWithDiskCache(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(context.Background(), 0.02, 0, "table1", dir, "csv"); err != nil {
+	if err := run(context.Background(), 0.02, 0, "table1", dir, "", "csv"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithSpecsDir loads a workload-spec directory and checks the
+// scenario rides through a full-suite item next to the builtins.
+func TestRunWithSpecsDir(t *testing.T) {
+	dir := t.TempDir()
+	specJSON := `{"version":1,"name":"cli-spec","seed":4,"phases":[
+		{"body_instrs":200,"iterations":40,"mix":[{"kernel":"hot","lines":8}]}]}`
+	if err := os.WriteFile(filepath.Join(dir, "cli-spec.json"), []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), 0.02, 0, "profile", "", dir, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), 0.02, 0, "table1", "", filepath.Join(dir, "missing"), "text"); err == nil {
+		t.Error("missing specs dir accepted")
 	}
 }
 
@@ -53,7 +72,7 @@ func TestRunWithMetricsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), 0.02, 0, "profile", t.TempDir(), "text"); err != nil {
+	if err := run(context.Background(), 0.02, 0, "profile", t.TempDir(), "", "text"); err != nil {
 		t.Fatal(err)
 	}
 	if err := stop(); err != nil {

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	leakaged [-addr :8080] [-scale f] [-workers n] [-cache dir]
-//	         [-cache-entries n] [-queue-depth n] [-queue-wait d]
-//	         [-request-timeout d] [-drain-timeout d]
+//	         [-specs dir] [-cache-entries n] [-queue-depth n]
+//	         [-queue-wait d] [-request-timeout d] [-drain-timeout d]
 //
 // The daemon prints "leakaged: listening on ADDR" once the listener is
 // bound (use -addr 127.0.0.1:0 for an ephemeral port), then serves until
@@ -20,8 +20,11 @@
 // telemetry surface (/metrics, /metrics.json, /debug/vars,
 // /debug/pprof/*) on the same mux. /api/v1/policies lists the registered
 // schemes with their parameter schemas; eval and sweep accept POST bodies
-// with structured policy specs ({"scheme": ..., "params": {...}}) in
-// addition to the GET query spellings; /api/v1/pareto evaluates a policy
+// with structured policy specs ({"scheme": ..., "params": {...}}) and
+// inline workload specs ({"spec": {...}}, evaluated ad hoc and cached by
+// digest) in addition to the GET query spellings; -specs serves a
+// directory of workload specs as extra benchmarks; /api/v1/pareto
+// evaluates a policy
 // population on both (normalized leakage, induced miss rate) axes and
 // marks the non-dominated frontier. See the README's "Serving" section
 // for parameters and semantics.
@@ -40,6 +43,7 @@ import (
 	"leakbound/internal/experiments"
 	"leakbound/internal/server"
 	"leakbound/internal/telemetry"
+	"leakbound/internal/workload/spec"
 )
 
 func main() {
@@ -47,6 +51,7 @@ func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "workload scale (1.0 = full study length)")
 	workers := flag.Int("workers", 0, "parallelism bound shared by the pipeline and admission control (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "directory for on-disk simulation caching (empty = off)")
+	specsDir := flag.String("specs", "", "directory of workload specs (.json) and recordings (.trc) served as extra benchmarks")
 	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries, "LRU result-cache bound (negative disables result caching)")
 	queueDepth := flag.Int("queue-depth", server.DefaultQueueDepth, "max requests waiting for admission before 429")
 	queueWait := flag.Duration("queue-wait", server.DefaultQueueWait, "max time one request waits for admission before 503")
@@ -69,6 +74,7 @@ func main() {
 		scale:          *scale,
 		workers:        *workers,
 		cacheDir:       *cacheDir,
+		specsDir:       *specsDir,
 		cacheEntries:   *cacheEntries,
 		queueDepth:     *queueDepth,
 		queueWait:      *queueWait,
@@ -91,6 +97,7 @@ type appConfig struct {
 	scale          float64
 	workers        int
 	cacheDir       string
+	specsDir       string
 	cacheEntries   int
 	queueDepth     int
 	queueWait      time.Duration
@@ -103,11 +110,23 @@ type appConfig struct {
 // bound address (onReady, when non-nil, also receives it — tests use
 // this), and serves until ctx is cancelled. A clean drain returns nil.
 func run(ctx context.Context, cfg appConfig, onReady func(net.Addr)) error {
-	suite, err := experiments.New(
+	opts := []experiments.Option{
 		experiments.WithScale(cfg.scale),
 		experiments.WithWorkers(cfg.workers),
 		experiments.WithCacheDir(cfg.cacheDir),
-	)
+	}
+	if cfg.specsDir != "" {
+		srcs, err := spec.LoadDir(cfg.specsDir)
+		if err != nil {
+			return err
+		}
+		scs := make([]experiments.Scenario, len(srcs))
+		for i, src := range srcs {
+			scs[i] = src
+		}
+		opts = append(opts, experiments.WithScenarios(scs...))
+	}
+	suite, err := experiments.New(opts...)
 	if err != nil {
 		return err
 	}

@@ -2,15 +2,32 @@ package main
 
 import (
 	"context"
+	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
 )
+
+const testSpecJSON = `{"version":1,"name":"test-spec","seed":3,"phases":[
+	{"body_instrs":200,"iterations":40,"mix":[
+		{"kernel":"loop","bytes":16384},{"kernel":"hot"}]}]}`
+
+func writeSpec(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 func TestGenerateAndSummarize(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "t.trc")
-	if err := runGenerate(context.Background(), "gzip", "D", out, 0.02); err != nil {
+	if err := runGenerate(context.Background(), "gzip", "", "D", out, 0.02); err != nil {
 		t.Fatal(err)
 	}
 	if err := runSummarize(out); err != nil {
@@ -22,21 +39,107 @@ func TestGenerateICacheAndL2(t *testing.T) {
 	dir := t.TempDir()
 	for _, side := range []string{"I", "L2"} {
 		out := filepath.Join(dir, side+".trc")
-		if err := runGenerate(context.Background(), "ammp", side, out, 0.02); err != nil {
+		if err := runGenerate(context.Background(), "ammp", "", side, out, 0.02); err != nil {
 			t.Fatalf("%s: %v", side, err)
 		}
 	}
 }
 
+func TestGenerateFromSpec(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir, "w.json", testSpecJSON)
+	out := filepath.Join(dir, "spec.trc")
+	if err := runGenerate(context.Background(), "", specPath, "D", out, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSummarize(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir, "w.json", testSpecJSON)
+	rec := filepath.Join(dir, "w.trc")
+	if err := runRecord("", specPath, rec, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The recording replays through -spec: generating from the spec and
+	// from its recording must produce identical cache event traces.
+	fromSpec := filepath.Join(dir, "from_spec.trc")
+	fromRec := filepath.Join(dir, "from_rec.trc")
+	if err := runGenerate(context.Background(), "", specPath, "D", fromSpec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGenerate(context.Background(), "", rec, "D", fromRec, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(fromSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(fromRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("replayed recording diverged from the spec's own trace")
+	}
+	// Recording a built-in benchmark works too.
+	if err := runRecord("gzip", "", filepath.Join(dir, "g.trc"), 0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAndList(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "a.json", testSpecJSON)
+	var sb strings.Builder
+	if err := runCheck(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "test-spec") || !strings.Contains(sb.String(), "1 scenarios valid") {
+		t.Errorf("check output: %q", sb.String())
+	}
+	sb.Reset()
+	if err := runCheck(&sb, filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+	writeSpec(t, dir, "bad.json", `{"version":1,"name":"bad","phases":[]}`)
+	if err := runCheck(&sb, dir); err == nil {
+		t.Error("invalid spec passed check")
+	}
+	if err := runCheck(&sb, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file passed check")
+	}
+
+	sb.Reset()
+	if err := runList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.Names() {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
-	if err := runGenerate(context.Background(), "gzip", "D", "", 0.02); err == nil {
-		t.Error("missing output accepted")
+	ctx := context.Background()
+	if err := runGenerate(ctx, "gzip", "", "D", "", 0.02); !errors.Is(err, ErrMissingOutput) {
+		t.Errorf("missing output: %v", err)
 	}
-	if err := runGenerate(context.Background(), "gzip", "Q", "x.trc", 0.02); err == nil {
-		t.Error("unknown cache accepted")
+	if err := runGenerate(ctx, "gzip", "", "Q", "x.trc", 0.02); !errors.Is(err, ErrUnknownCache) {
+		t.Errorf("unknown cache: %v", err)
 	}
-	if err := runGenerate(context.Background(), "nope", "D", "x.trc", 0.02); err == nil {
-		t.Error("unknown benchmark accepted")
+	if err := runGenerate(ctx, "nope", "", "D", "x.trc", 0.02); !errors.Is(err, workload.ErrUnknownBenchmark) {
+		t.Errorf("unknown benchmark: %v", err)
+	}
+	if err := runGenerate(ctx, "gzip", "also.json", "D", "x.trc", 0.02); !errors.Is(err, ErrConflictingSource) {
+		t.Errorf("bench+spec: %v", err)
+	}
+	if err := runRecord("gzip", "", "", 0.02); !errors.Is(err, ErrMissingOutput) {
+		t.Errorf("record missing output: %v", err)
 	}
 	if err := runSummarize(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
 		t.Error("missing file accepted")

@@ -1,12 +1,22 @@
 // Custom workload: apply the limit study to your own application's access
-// pattern.
+// pattern, declared in a JSON workload spec instead of Go code.
 //
-// The workload Builder composes the same kernels the SPEC2000 stand-ins
-// use — sequential streams, blocked strided sweeps, pointer chases, hot
-// scalars — into a synthetic model of an arbitrary program. Here we model
-// a simple in-memory key-value store: a hot request loop probing a hash
-// index, chasing into a large value heap, and periodically compacting a
-// log, then ask how much of its cache leakage an oracle could remove.
+// The spec format (internal/workload/spec) composes the same kernels the
+// SPEC2000 stand-ins use — sequential streams, blocked strided sweeps,
+// pointer chases, hot scalars — into a synthetic model of an arbitrary
+// program. examples/specs/kvstore.json models a simple in-memory
+// key-value store: a hot request loop probing a hash index, chasing into
+// a large value heap, and periodically compacting a log. This program
+// compiles the spec, simulates it on the paper's machine, and asks how
+// much of the cache's leakage an oracle could remove.
+//
+// The same spec file runs unmodified through the other surfaces:
+//
+//	go run ./cmd/experiments -specs examples/specs -only kvstore
+//	go run ./cmd/tracegen -spec examples/specs/kvstore.json -record kv.trc
+//	curl -d '{"spec": <kvstore.json>}' localhost:8091/api/v1/eval
+//
+// Run from the repository root:
 //
 //	go run ./examples/custom_workload
 package main
@@ -23,36 +33,20 @@ import (
 	"leakbound/internal/sim/cache"
 	"leakbound/internal/sim/cpu"
 	"leakbound/internal/sim/trace"
-	"leakbound/internal/workload"
+	"leakbound/internal/workload/spec"
 )
 
 func main() {
-	// Describe the application.
-	b := workload.NewBuilder("kvstore")
-	locals := b.Hot(12)                  // request-handling locals
-	index := b.Sequential(64<<10, 128)   // hash index probes (skips lines)
-	heap := b.Chase(16384, 64, 0xBEEF)   // 1MB value heap, pointer-chased
-	logBuf := b.Sequential(4<<20, 64)    // append-only log, streamed
-	compactIn := b.Sequential(2<<20, 64) // compaction reads
-	wl, err := b.
-		// Steady-state serving: small hot code, index + heap traffic.
-		Phase(workload.PhaseSpec{
-			BodyInstrs: 2400, Iterations: 900,
-			Loads:   []workload.Pattern{locals, index, heap},
-			Stores:  []workload.Pattern{locals, logBuf},
-			Weights: []int{20, 3, 2, 8, 1},
-		}).
-		// Periodic compaction: different code, streaming reads/writes.
-		Phase(workload.PhaseSpec{
-			BodyInstrs: 3200, Iterations: 120,
-			Loads:   []workload.Pattern{compactIn, locals},
-			Stores:  []workload.Pattern{logBuf},
-			Weights: []int{3, 8, 2},
-		}).
-		Build()
+	// Load and compile the declarative description of the application.
+	src, err := spec.LoadFile("examples/specs/kvstore.json")
 	if err != nil {
 		log.Fatal(err)
 	}
+	wl, err := src.Workload(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (spec digest %s)\n\n", src.ScenarioName(), src.ScenarioDigest()[:12])
 
 	// Simulate on the paper's machine and collect D-cache intervals.
 	hier, err := cache.NewHierarchy(cache.AlphaLike())

@@ -35,10 +35,21 @@ func (s *Suite) cacheKey(name string) string {
 	return fmt.Sprintf("%s_%g_v%d", name, s.scale, cacheVersion)
 }
 
-// loadCached returns the cached benchmark data, or nil if absent/invalid.
-// Every lookup lands in the "diskcache" hit/miss counters — a miss means a
-// fresh simulation follows, whether the cache is disabled, cold, or stale.
-func (s *Suite) loadCached(name string) (d *BenchmarkData) {
+// scenarioCacheKey keys a scenario entry by name plus a spec-digest
+// prefix, so editing a spec (same name, new digest) never serves a stale
+// simulation.
+func (s *Suite) scenarioCacheKey(name, digest string) string {
+	if len(digest) > 16 {
+		digest = digest[:16]
+	}
+	return fmt.Sprintf("%s_%s_%g_v%d", name, digest, s.scale, cacheVersion)
+}
+
+// loadCached returns the cached benchmark data under key, or nil if
+// absent/invalid. Every lookup lands in the "diskcache" hit/miss
+// counters — a miss means a fresh simulation follows, whether the cache
+// is disabled, cold, or stale.
+func (s *Suite) loadCached(key, name string) (d *BenchmarkData) {
 	// Touching both counters up front keeps them visible (at zero) in every
 	// snapshot, even before the first hit or miss of the other kind.
 	dc := s.metrics.Scope("diskcache")
@@ -53,7 +64,7 @@ func (s *Suite) loadCached(name string) (d *BenchmarkData) {
 	if s.cacheDir == "" {
 		return nil
 	}
-	base := filepath.Join(s.cacheDir, s.cacheKey(name))
+	base := filepath.Join(s.cacheDir, key)
 	metaRaw, err := os.ReadFile(base + ".json")
 	if err != nil {
 		return nil
@@ -96,14 +107,14 @@ func (s *Suite) loadCached(name string) (d *BenchmarkData) {
 
 // storeCached best-effort persists the benchmark data; failures are
 // silently ignored (the cache is an optimization, not a dependency).
-func (s *Suite) storeCached(d *BenchmarkData) {
+func (s *Suite) storeCached(key string, d *BenchmarkData) {
 	if s.cacheDir == "" {
 		return
 	}
 	if err := os.MkdirAll(s.cacheDir, 0o755); err != nil {
 		return
 	}
-	base := filepath.Join(s.cacheDir, s.cacheKey(d.Name))
+	base := filepath.Join(s.cacheDir, key)
 	meta := cacheMeta{
 		Version: cacheVersion, Name: d.Name, Scale: s.scale,
 		Result: d.Result, IEngine: d.IEngine, DEngine: d.DEngine,

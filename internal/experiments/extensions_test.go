@@ -265,7 +265,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	// Second suite must load identical data from disk without simulating;
 	// verify by comparing the distributions exactly.
 	s2 := MustNew(WithScale(0.03), WithCacheDir(dir))
-	d2 := s2.loadCached("gzip")
+	d2 := s2.loadCached(s2.cacheKey("gzip"), "gzip")
 	if d2 == nil {
 		t.Fatal("cache miss after store")
 	}
@@ -280,7 +280,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	}
 	// A different scale must miss.
 	s3 := MustNew(WithScale(0.04), WithCacheDir(dir))
-	if s3.loadCached("gzip") != nil {
+	if s3.loadCached(s3.cacheKey("gzip"), "gzip") != nil {
 		t.Error("cache hit across scales")
 	}
 	// Corrupt a distribution file: the loader must reject, not crash.
@@ -288,7 +288,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	if err := osWriteFileHelper(dir+"/"+key+".icache", []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
-	if s2.loadCached("gzip") != nil {
+	if s2.loadCached(key, "gzip") != nil {
 		t.Error("corrupted cache accepted")
 	}
 }

@@ -197,31 +197,9 @@ type ParamSweepPoint struct {
 // the reduction runs in deterministic value-major, benchmark-inner order,
 // matching the sequential loop the grid path used.
 func (s *Suite) SweepParamContext(ctx context.Context, scheme, param string, iCache bool, tech power.Technology, values []leakage.ParamValue) ([]ParamSweepPoint, error) {
-	if len(values) == 0 {
-		return nil, fmt.Errorf("%w: empty parameter sweep", ErrBadOption)
-	}
-	name := strings.ToLower(strings.TrimSpace(scheme))
-	reg, ok := leakage.DefaultRegistry().Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownPolicy, scheme, strings.Join(PolicyNames(), ", "))
-	}
-	param = strings.ToLower(strings.TrimSpace(param))
-	if param == "" {
-		if reg.Positional == "" {
-			return nil, fmt.Errorf("%w: scheme %q has no positional parameter to sweep", ErrUnknownPolicy, scheme)
-		}
-		param = reg.Positional
-	}
-	if _, ok := reg.Schema(param); !ok {
-		return nil, fmt.Errorf("%w: scheme %q has no parameter %q", ErrUnknownPolicy, scheme, param)
-	}
-	pols := make([]leakage.Policy, len(values))
-	for vi, v := range values {
-		pol, err := BuildPolicy(leakage.PolicySpec{Scheme: name, Params: leakage.Params{param: v}}, tech)
-		if err != nil {
-			return nil, err
-		}
-		pols[vi] = pol
+	pols, name, err := resolveSweepPolicies(scheme, param, tech, values)
+	if err != nil {
+		return nil, err
 	}
 	all, err := s.AllContext(ctx)
 	if err != nil {
@@ -263,6 +241,40 @@ func (s *Suite) SweepParamContext(ctx context.Context, scheme, param string, iCa
 		out = append(out, ParamSweepPoint{Value: v, Savings: sum / float64(len(all))})
 	}
 	return out, nil
+}
+
+// resolveSweepPolicies validates a (scheme, param, values) sweep request
+// against the default registry and builds one policy per value at tech;
+// shared by the suite-wide and scenario-scoped parameter sweeps. It
+// returns the canonical scheme name for error labels.
+func resolveSweepPolicies(scheme, param string, tech power.Technology, values []leakage.ParamValue) ([]leakage.Policy, string, error) {
+	if len(values) == 0 {
+		return nil, "", fmt.Errorf("%w: empty parameter sweep", ErrBadOption)
+	}
+	name := strings.ToLower(strings.TrimSpace(scheme))
+	reg, ok := leakage.DefaultRegistry().Lookup(name)
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q (known: %s)", ErrUnknownPolicy, scheme, strings.Join(PolicyNames(), ", "))
+	}
+	param = strings.ToLower(strings.TrimSpace(param))
+	if param == "" {
+		if reg.Positional == "" {
+			return nil, "", fmt.Errorf("%w: scheme %q has no positional parameter to sweep", ErrUnknownPolicy, scheme)
+		}
+		param = reg.Positional
+	}
+	if _, ok := reg.Schema(param); !ok {
+		return nil, "", fmt.Errorf("%w: scheme %q has no parameter %q", ErrUnknownPolicy, scheme, param)
+	}
+	pols := make([]leakage.Policy, len(values))
+	for vi, v := range values {
+		pol, err := BuildPolicy(leakage.PolicySpec{Scheme: name, Params: leakage.Params{param: v}}, tech)
+		if err != nil {
+			return nil, "", err
+		}
+		pols[vi] = pol
+	}
+	return pols, name, nil
 }
 
 // SweepThetaContext is the theta-specific compat shim over

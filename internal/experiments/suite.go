@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -99,10 +100,20 @@ type Suite struct {
 	workers int
 	metrics *telemetry.Registry
 
+	// scenarios extend the benchmark set beyond the built-in six
+	// (WithScenarios); both are fixed at construction and read-only after,
+	// so lookups need no lock. scenarioIdx indexes them by name.
+	scenarios   []Scenario
+	scenarioIdx map[string]Scenario
+
 	mu       sync.Mutex
 	data     map[string]*BenchmarkData
 	inflight map[string]*inflightSim
-	cacheDir string // optional on-disk cache (see diskcache.go)
+	// adhocOrder tracks insertion order of ad-hoc scenario entries in data
+	// (keys carry the "adhoc:" prefix) for bounded LRU-ish eviction; see
+	// DataForScenarioContext.
+	adhocOrder []string
+	cacheDir   string // optional on-disk cache (see diskcache.go)
 }
 
 // inflightSim is the per-benchmark singleflight gate: the leader closes
@@ -135,16 +146,27 @@ func (s *Suite) Data(name string) (*BenchmarkData, error) {
 // first. If the leader fails, waiters retry rather than inheriting an
 // error that may belong to the leader's cancelled context.
 func (s *Suite) DataContext(ctx context.Context, name string) (*BenchmarkData, error) {
+	return s.dataByKey(ctx, name, false, func(ctx context.Context) (*BenchmarkData, error) {
+		return s.produce(ctx, name)
+	})
+}
+
+// dataByKey is the shared singleflight core behind DataContext (key =
+// benchmark name) and DataForScenarioContext (key = "adhoc:" + digest;
+// benchmark names can never contain a colon, so the key spaces are
+// disjoint). adhoc entries are retained in a small bounded window rather
+// than forever — see adhocDataCap.
+func (s *Suite) dataByKey(ctx context.Context, key string, adhoc bool, produce func(context.Context) (*BenchmarkData, error)) (*BenchmarkData, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		s.mu.Lock()
-		if d, ok := s.data[name]; ok {
+		if d, ok := s.data[key]; ok {
 			s.mu.Unlock()
 			return d, nil
 		}
-		if c, ok := s.inflight[name]; ok {
+		if c, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
 			select {
 			case <-c.done:
@@ -161,14 +183,21 @@ func (s *Suite) DataContext(ctx context.Context, name string) (*BenchmarkData, e
 			}
 		}
 		c := &inflightSim{done: make(chan struct{})}
-		s.inflight[name] = c
+		s.inflight[key] = c
 		s.mu.Unlock()
 
-		d, err := s.produce(ctx, name)
+		d, err := produce(ctx)
 		s.mu.Lock()
-		delete(s.inflight, name)
+		delete(s.inflight, key)
 		if err == nil {
-			s.data[name] = d
+			if adhoc {
+				s.adhocOrder = append(s.adhocOrder, key)
+				if len(s.adhocOrder) > adhocDataCap {
+					delete(s.data, s.adhocOrder[0])
+					s.adhocOrder = s.adhocOrder[1:]
+				}
+			}
+			s.data[key] = d
 		}
 		s.mu.Unlock()
 		c.d, c.err = d, err
@@ -179,34 +208,59 @@ func (s *Suite) DataContext(ctx context.Context, name string) (*BenchmarkData, e
 
 // produce loads one benchmark from the disk cache or simulates it; called
 // only by a singleflight leader, so it never runs twice concurrently for
-// the same name.
+// the same name. The name is resolved against the registered scenarios
+// first, then the built-in workload set.
 func (s *Suite) produce(ctx context.Context, name string) (*BenchmarkData, error) {
-	if d := s.loadCached(name); d != nil {
+	if sc, ok := s.scenarioIdx[name]; ok {
+		return s.produceWorkload(ctx, name, s.scenarioCacheKey(name, sc.ScenarioDigest()), true,
+			func() (workload.Workload, error) { return sc.Workload(s.scale) })
+	}
+	return s.produceWorkload(ctx, name, s.cacheKey(name), true,
+		func() (workload.Workload, error) { return workload.New(name, s.scale) })
+}
+
+// produceWorkload runs the disk-cache-or-simulate pipeline for one
+// resolved workload. key is the disk-cache key; perName gates the
+// per-benchmark telemetry gauges — registered names are a closed set
+// fixed at construction, but ad-hoc scenarios (one per POSTed spec) are
+// not, so they only feed the aggregate counters.
+func (s *Suite) produceWorkload(ctx context.Context, name, key string, perName bool, mk func() (workload.Workload, error)) (*BenchmarkData, error) {
+	if d := s.loadCached(key, name); d != nil {
 		d.buildAggregates()
 		return d, nil
 	}
 	//lint:ignore determinism wall clock feeds the sim_ms/sim_ns telemetry only, never the simulation products
 	start := time.Now()
 	sc := s.metrics.Scope("suite")
-	d, err := simulate(ctx, name, s.scale, s.poolWorkers())
+	w, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	d, err := simulate(ctx, name, w, s.poolWorkers())
 	if err != nil {
 		if ctx.Err() != nil {
 			// Partial-telemetry flush on cancellation: the abandoned work
 			// still shows up in the snapshot.
 			sc.Counter("sims_cancelled").Add(1)
-			//lint:ignore telemetryscope benchmark names are a closed set (workload.Names()), so cardinality is bounded and snapshots stay deterministic
-			sc.Gauge("cancelled_after_ms/" + name).Set(time.Since(start).Milliseconds())
+			if perName {
+				//lint:ignore telemetryscope registered benchmark names are a closed set (BenchmarkNames(), fixed at construction), so cardinality is bounded and snapshots stay deterministic
+				sc.Gauge("cancelled_after_ms/" + name).Set(time.Since(start).Milliseconds())
+			}
 		}
 		return nil, err
 	}
 	elapsed := time.Since(start)
 	sc.Counter("fresh_sims").Add(1)
-	//lint:ignore telemetryscope benchmark names are a closed set (workload.Names()), so cardinality is bounded and snapshots stay deterministic
-	sc.Gauge("sim_ms/" + name).Set(elapsed.Milliseconds())
-	//lint:ignore telemetryscope benchmark names are a closed set (workload.Names()), so cardinality is bounded and snapshots stay deterministic
-	sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
+	if perName {
+		//lint:ignore telemetryscope registered benchmark names are a closed set (BenchmarkNames(), fixed at construction), so cardinality is bounded and snapshots stay deterministic
+		sc.Gauge("sim_ms/" + name).Set(elapsed.Milliseconds())
+		//lint:ignore telemetryscope registered benchmark names are a closed set (BenchmarkNames(), fixed at construction), so cardinality is bounded and snapshots stay deterministic
+		sc.Gauge("events/" + name).Set(int64(d.Result.L1I.Accesses + d.Result.L1D.Accesses + d.Result.L2.Accesses))
+	} else {
+		sc.Counter("adhoc_sims").Add(1)
+	}
 	sc.Histogram("sim_ns").Record(uint64(elapsed.Nanoseconds()))
-	s.storeCached(d)
+	s.storeCached(key, d)
 	d.buildAggregates()
 	return d, nil
 }
@@ -223,7 +277,7 @@ func (s *Suite) All() ([]*BenchmarkData, error) {
 // order. Cancelling ctx aborts in-flight simulations at their next
 // cancellation check, skips queued ones, and returns ctx.Err().
 func (s *Suite) AllContext(ctx context.Context) ([]*BenchmarkData, error) {
-	names := workload.Names()
+	names := s.BenchmarkNames()
 	out := make([]*BenchmarkData, len(names))
 	pool := telemetry.NewPoolIn(s.metrics, s.poolWorkers())
 	for i, name := range names {
@@ -250,20 +304,16 @@ func (s *Suite) AllContext(ctx context.Context) ([]*BenchmarkData, error) {
 	return out, nil
 }
 
-// simulate runs one benchmark through the paper's machine configuration
-// and collects flagged interval distributions for all three caches in a
-// single streaming pass: the generator feeds the CPU model, which feeds
-// the collectors through reused struct-of-arrays batches, and no
-// intermediate trace is ever materialized. shards selects the collection
-// topology — <=1 collects in-line on the simulation goroutine (the
-// single-core fast path), >1 ships batches through an SPSC ring to a
+// simulate runs one resolved workload through the paper's machine
+// configuration and collects flagged interval distributions for all three
+// caches in a single streaming pass: the generator feeds the CPU model,
+// which feeds the collectors through reused struct-of-arrays batches, and
+// no intermediate trace is ever materialized. shards selects the
+// collection topology — <=1 collects in-line on the simulation goroutine
+// (the single-core fast path), >1 ships batches through an SPSC ring to a
 // consumer that fans events out to frame-sharded collectors. The outputs
 // are bit-identical either way.
-func simulate(ctx context.Context, name string, scale float64, shards int) (*BenchmarkData, error) {
-	w, err := workload.New(name, scale)
-	if err != nil {
-		return nil, err
-	}
+func simulate(ctx context.Context, name string, w workload.Workload, shards int) (*BenchmarkData, error) {
 	hier, err := cache.NewHierarchy(cache.AlphaLike())
 	if err != nil {
 		return nil, err
@@ -477,7 +527,11 @@ func (s *Suite) SortedNames() []string {
 	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.data))
 	for n := range s.data {
-		names = append(names, n)
+		// Ad-hoc scenario entries are keyed "adhoc:<digest>", not by
+		// benchmark name; they are a cache, not part of the suite's set.
+		if !strings.Contains(n, ":") {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

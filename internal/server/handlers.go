@@ -18,12 +18,15 @@ package server
 //	GET /api/v1/inflections      ?tech=70nm (default: all nodes)
 //	GET /api/v1/policies         registered schemes + parameter schemas
 //	GET /api/v1/eval             ?benchmark=&cache=&tech=&policy=spec
-//	POST /api/v1/eval            {"benchmark","cache","tech","policy"}
-//	                             (policy: spec string or {"scheme","params"})
+//	POST /api/v1/eval            {"benchmark"|"spec","cache","tech","policy"}
+//	                             (policy: spec string or {"scheme","params"};
+//	                             spec: inline workload spec evaluated ad hoc)
 //	GET /api/v1/sweep            ?policy=&cache=&tech=&thetas=a,b,c |
 //	                             ?from=&to=&points= (geometric spacing)
-//	POST /api/v1/sweep           {"policy","param","cache","tech","values"}
-//	                             (sweep any declared numeric parameter)
+//	POST /api/v1/sweep           {"policy","param","cache","tech","values",
+//	                             "spec"} (sweep any declared numeric
+//	                             parameter; with spec, over that workload
+//	                             alone instead of the suite average)
 //	GET /api/v1/pareto           ?cache=&tech=&policy=spec (repeatable;
 //	                             default: every scheme at its defaults)
 //	POST /api/v1/pareto          {"cache","tech","policies":[...]}
@@ -46,7 +49,7 @@ import (
 	"leakbound/internal/power"
 	"leakbound/internal/report"
 	"leakbound/internal/telemetry"
-	"leakbound/internal/workload"
+	"leakbound/internal/workload/spec"
 )
 
 // Admission weights: light endpoints take one unit; heavy ones (full-suite
@@ -144,7 +147,7 @@ func (s *Server) handleBenchmarks(_ context.Context, _ *http.Request) ([]byte, s
 	}{
 		Scale:      s.suite.Scale(),
 		Workers:    s.suite.Workers(),
-		Benchmarks: workload.Names(),
+		Benchmarks: s.suite.BenchmarkNames(),
 		Simulated:  s.suite.SortedNames(),
 		Policies:   experiments.PolicyNames(),
 	})
@@ -393,25 +396,48 @@ func (s *Server) handlePolicies(_ context.Context, _ *http.Request) ([]byte, str
 	}{Schemes: leakage.DefaultRegistry().Schemes()})
 }
 
+// specPresent reports whether a raw "spec" body field carries a value.
+func specPresent(raw json.RawMessage) bool {
+	b := bytes.TrimSpace(raw)
+	return len(b) > 0 && string(b) != "null"
+}
+
+// parseSpecScenario parses an inline workload spec from a request body.
+// Parse and validation failures surface as 400s carrying the spec
+// package's positional message (e.g. "spec.phases[2].mix: weights sum
+// to 0") so clients can point at the offending field.
+func parseSpecScenario(raw json.RawMessage) (*spec.Spec, error) {
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		return nil, &badRequestError{err: fmt.Errorf("server: bad workload spec: %w", err)}
+	}
+	return sp, nil
+}
+
 func (s *Server) handleEval(ctx context.Context, r *http.Request) ([]byte, string, error) {
 	q := r.URL.Query()
 	var body struct {
-		Benchmark string         `json:"benchmark"`
-		Cache     string         `json:"cache"`
-		Tech      string         `json:"tech"`
-		Policy    policySpecJSON `json:"policy"`
+		Benchmark string          `json:"benchmark"`
+		Spec      json.RawMessage `json:"spec"`
+		Cache     string          `json:"cache"`
+		Tech      string          `json:"tech"`
+		Policy    policySpecJSON  `json:"policy"`
 	}
 	if err := decodeBody(r, &body); err != nil {
 		return nil, "", err
 	}
 	benchmark := strings.TrimSpace(override(body.Benchmark, q.Get("benchmark")))
-	if benchmark == "" {
-		return nil, "", badRequestf("server: missing required parameter benchmark (known: %s)",
-			strings.Join(workload.Names(), ", "))
+	hasSpec := specPresent(body.Spec)
+	if hasSpec && benchmark != "" {
+		return nil, "", badRequestf("server: benchmark and spec are mutually exclusive")
 	}
-	if !knownBenchmark(benchmark) {
+	if !hasSpec && benchmark == "" {
+		return nil, "", badRequestf("server: missing required parameter benchmark (known: %s)",
+			strings.Join(s.suite.BenchmarkNames(), ", "))
+	}
+	if !hasSpec && !s.suite.KnownBenchmark(benchmark) {
 		return nil, "", badRequestf("server: unknown benchmark %q (known: %s)",
-			benchmark, strings.Join(workload.Names(), ", "))
+			benchmark, strings.Join(s.suite.BenchmarkNames(), ", "))
 	}
 	iCache, err := experiments.ParseCacheSide(override(body.Cache, q.Get("cache")))
 	if err != nil {
@@ -434,9 +460,21 @@ func (s *Server) handleEval(ctx context.Context, r *http.Request) ([]byte, strin
 	if err != nil {
 		return nil, "", &badRequestError{err: err}
 	}
-	ev, err := s.suite.EvaluateCellContext(ctx, benchmark, iCache, tech, pol)
-	if err != nil {
-		return nil, "", err
+	var ev experiments.CellEvaluation
+	if hasSpec {
+		sp, err := parseSpecScenario(body.Spec)
+		if err != nil {
+			return nil, "", err
+		}
+		ev, err = s.suite.EvaluateScenarioCellContext(ctx, sp, iCache, tech, pol)
+		if err != nil {
+			return nil, "", err
+		}
+	} else {
+		ev, err = s.suite.EvaluateCellContext(ctx, benchmark, iCache, tech, pol)
+		if err != nil {
+			return nil, "", err
+		}
 	}
 	return jsonBody(ev)
 }
@@ -448,10 +486,19 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 		Param  string               `json:"param"`
 		Cache  string               `json:"cache"`
 		Tech   string               `json:"tech"`
+		Spec   json.RawMessage      `json:"spec"`
 		Values []leakage.ParamValue `json:"values"`
 	}
 	if err := decodeBody(r, &body); err != nil {
 		return nil, "", err
+	}
+	var scenario *spec.Spec
+	if specPresent(body.Spec) {
+		sp, err := parseSpecScenario(body.Spec)
+		if err != nil {
+			return nil, "", err
+		}
+		scenario = sp
 	}
 	scheme := strings.ToLower(strings.TrimSpace(override(body.Policy, q.Get("policy"))))
 	if scheme == "" {
@@ -476,7 +523,14 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 			return nil, "", badRequestf("server: sweep capped at %d values, got %d", maxSweepPoints, len(body.Values))
 		}
 		param := strings.ToLower(strings.TrimSpace(body.Param))
-		points, err := s.suite.SweepParamContext(ctx, scheme, param, iCache, tech, body.Values)
+		var points []experiments.ParamSweepPoint
+		var benchmark string
+		if scenario != nil {
+			points, err = s.suite.SweepParamScenarioContext(ctx, scenario, scheme, param, iCache, tech, body.Values)
+			benchmark = scenario.ScenarioName()
+		} else {
+			points, err = s.suite.SweepParamContext(ctx, scheme, param, iCache, tech, body.Values)
+		}
 		if err != nil {
 			return nil, "", asBadPolicy(err)
 		}
@@ -488,8 +542,9 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 			Param      string                        `json:"param"`
 			Cache      string                        `json:"cache"`
 			Technology string                        `json:"technology"`
+			Benchmark  string                        `json:"benchmark,omitempty"`
 			Points     []experiments.ParamSweepPoint `json:"points"`
-		}{Policy: scheme, Param: param, Cache: cacheSideLabel(iCache), Technology: tech.Name, Points: points})
+		}{Policy: scheme, Param: param, Cache: cacheSideLabel(iCache), Technology: tech.Name, Benchmark: benchmark, Points: points})
 	}
 	// Theta ladder: any scheme whose positional parameter is a uint.
 	if sch, ok := reg.Schema(reg.Positional); reg.Positional == "" || !ok || sch.Kind != leakage.UintParam {
@@ -499,16 +554,37 @@ func (s *Server) handleSweep(ctx context.Context, r *http.Request) ([]byte, stri
 	if err != nil {
 		return nil, "", err
 	}
-	points, err := s.suite.SweepThetaContext(ctx, scheme, iCache, tech, thetas)
-	if err != nil {
-		return nil, "", asBadPolicy(err)
+	var points []experiments.SweepPoint
+	var benchmark string
+	if scenario != nil {
+		// The spec's own theta ladder: one EvaluateMany pass over the
+		// scenario's aggregates instead of the suite-wide average.
+		values := make([]leakage.ParamValue, len(thetas))
+		for i, theta := range thetas {
+			values[i] = leakage.Uint(theta)
+		}
+		pts, err := s.suite.SweepParamScenarioContext(ctx, scenario, scheme, "", iCache, tech, values)
+		if err != nil {
+			return nil, "", asBadPolicy(err)
+		}
+		points = make([]experiments.SweepPoint, len(pts))
+		for i, p := range pts {
+			points[i] = experiments.SweepPoint{Theta: thetas[i], Savings: p.Savings}
+		}
+		benchmark = scenario.ScenarioName()
+	} else {
+		points, err = s.suite.SweepThetaContext(ctx, scheme, iCache, tech, thetas)
+		if err != nil {
+			return nil, "", asBadPolicy(err)
+		}
 	}
 	return jsonBody(struct {
 		Policy     string                   `json:"policy"`
 		Cache      string                   `json:"cache"`
 		Technology string                   `json:"technology"`
+		Benchmark  string                   `json:"benchmark,omitempty"`
 		Points     []experiments.SweepPoint `json:"points"`
-	}{Policy: scheme, Cache: cacheSideLabel(iCache), Technology: tech.Name, Points: points})
+	}{Policy: scheme, Cache: cacheSideLabel(iCache), Technology: tech.Name, Benchmark: benchmark, Points: points})
 }
 
 func (s *Server) handlePareto(ctx context.Context, r *http.Request) ([]byte, string, error) {
@@ -618,14 +694,4 @@ func sweepThetas(csv, fromStr, toStr, pointsStr string) ([]uint64, error) {
 		last = v
 	}
 	return out, nil
-}
-
-// knownBenchmark reports whether name is one of the suite's workloads.
-func knownBenchmark(name string) bool {
-	for _, n := range workload.Names() {
-		if n == name {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leakbound/internal/experiments"
+	"leakbound/internal/telemetry"
+	"leakbound/internal/workload/spec"
+)
+
+// testSpecJSON is a tiny spec small enough to simulate inside a handler.
+const testSpecJSON = `{"version":1,"name":"posted-spec","seed":21,"phases":[
+	{"body_instrs":200,"iterations":50,"mix":[
+		{"kernel":"loop","bytes":16384},{"kernel":"hot","lines":8}]}]}`
+
+// TestEvalPostSpec drives an inline workload spec through POST eval:
+// the evaluation lands on the spec's own simulation, repeats are cache
+// hits, and benchmark+spec together are rejected.
+func TestEvalPostSpec(t *testing.T) {
+	s, _ := newTestServer(t, 0.5, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"spec":` + testSpecJSON + `,"cache":"i","policy":"opt-hybrid"}`
+	status, _, out := post(t, ts.Client(), ts.URL+"/api/v1/eval", body)
+	if status != http.StatusOK {
+		t.Fatalf("POST eval spec: %d %s", status, out)
+	}
+	var cell experiments.CellEvaluation
+	if err := json.Unmarshal(out, &cell); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cell.Benchmark != "posted-spec" || cell.Cache != "i" {
+		t.Fatalf("bad coordinates: %+v", cell)
+	}
+	if cell.Baseline <= 0 || cell.Energy <= 0 {
+		t.Errorf("implausible energies: %+v", cell)
+	}
+	// Identical repeat is an HTTP cache hit (body sha256 keys the entry).
+	_, hdr, _ := post(t, ts.Client(), ts.URL+"/api/v1/eval", body)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("repeat spec POST X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+	// benchmark and spec are mutually exclusive.
+	status, _, out = post(t, ts.Client(), ts.URL+"/api/v1/eval",
+		`{"benchmark":"gzip","spec":`+testSpecJSON+`}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("benchmark+spec: %d %s", status, out)
+	}
+}
+
+// TestEvalPostSpecValidation pins the 400 surface: invalid specs come
+// back with the spec package's positional message.
+func TestEvalPostSpecValidation(t *testing.T) {
+	s, _ := newTestServer(t, 0.5, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := `{"spec":{"version":1,"name":"bad","phases":[
+		{"body_instrs":100,"iterations":1,"mix":[
+			{"kernel":"hot","weight":0}]}]},"cache":"i"}`
+	status, _, out := post(t, ts.Client(), ts.URL+"/api/v1/eval", bad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", status, out)
+	}
+	if !strings.Contains(string(out), "spec.phases[0].mix: weights sum to 0") {
+		t.Errorf("400 body lacks positional message: %s", out)
+	}
+	status, _, out = post(t, ts.Client(), ts.URL+"/api/v1/eval",
+		`{"spec":{"version":99},"cache":"i"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad version: %d %s", status, out)
+	}
+}
+
+// TestSweepPostSpec sweeps over the posted spec's workload alone and
+// checks the response names it.
+func TestSweepPostSpec(t *testing.T) {
+	s, _ := newTestServer(t, 0.5, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _, out := post(t, ts.Client(), ts.URL+"/api/v1/sweep",
+		`{"policy":"opt-sleep","cache":"i","spec":`+testSpecJSON+`,"values":[1000,10000,100000]}`)
+	if status != http.StatusOK {
+		t.Fatalf("POST sweep spec: %d %s", status, out)
+	}
+	var sweep struct {
+		Policy    string `json:"policy"`
+		Benchmark string `json:"benchmark"`
+		Points    []struct {
+			Value   float64 `json:"value"`
+			Savings float64 `json:"savings"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(out, &sweep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sweep.Benchmark != "posted-spec" || len(sweep.Points) != 3 {
+		t.Fatalf("sweep shape wrong: %+v", sweep)
+	}
+	// The theta-ladder shape works with a spec too.
+	status, _, out = post(t, ts.Client(), ts.URL+"/api/v1/sweep?thetas=1057,5000",
+		`{"policy":"opt-sleep","cache":"i","spec":`+testSpecJSON+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("POST sweep spec thetas: %d %s", status, out)
+	}
+	var ladder struct {
+		Benchmark string `json:"benchmark"`
+		Points    []struct {
+			Theta   uint64  `json:"theta"`
+			Savings float64 `json:"savings"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(out, &ladder); err != nil {
+		t.Fatalf("decode ladder: %v", err)
+	}
+	if ladder.Benchmark != "posted-spec" || len(ladder.Points) != 2 {
+		t.Fatalf("ladder shape wrong: %+v", ladder)
+	}
+	// Invalid spec on sweep is a 400 as well.
+	status, _, out = post(t, ts.Client(), ts.URL+"/api/v1/sweep",
+		`{"policy":"opt-sleep","spec":{"version":1},"values":[1000]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid sweep spec: %d %s", status, out)
+	}
+}
+
+// TestBenchmarksListsScenarios registers a scenario at construction and
+// checks it appears in the inventory and resolves through GET eval.
+func TestBenchmarksListsScenarios(t *testing.T) {
+	sp, err := spec.Parse([]byte(`{"version":1,"name":"registered-spec","seed":5,"phases":[
+		{"body_instrs":200,"iterations":50,"mix":[{"kernel":"hot","lines":8}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	suite := experiments.MustNew(
+		experiments.WithScale(0.5),
+		experiments.WithMetrics(reg),
+		experiments.WithScenarios(sp),
+	)
+	s, err := New(Config{Suite: suite, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _, out := get(t, ts.Client(), ts.URL+"/api/v1/benchmarks", nil)
+	if status != http.StatusOK {
+		t.Fatalf("benchmarks: %d %s", status, out)
+	}
+	var inv struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(out, &inv); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range inv.Benchmarks {
+		found = found || n == "registered-spec"
+	}
+	if !found {
+		t.Errorf("registered scenario missing from inventory: %v", inv.Benchmarks)
+	}
+	status, _, out = get(t, ts.Client(),
+		ts.URL+"/api/v1/eval?benchmark=registered-spec&cache=i&policy=opt-hybrid", nil)
+	if status != http.StatusOK {
+		t.Fatalf("eval registered scenario: %d %s", status, out)
+	}
+	var cell experiments.CellEvaluation
+	if err := json.Unmarshal(out, &cell); err != nil {
+		t.Fatal(err)
+	}
+	if cell.Benchmark != "registered-spec" {
+		t.Errorf("cell benchmark = %q", cell.Benchmark)
+	}
+}

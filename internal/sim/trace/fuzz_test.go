@@ -18,9 +18,16 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	var buf2 bytes.Buffer
+	if err := WriteTagged(&buf2, InstrRecording, &s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf2.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("LKBTRC01"))
+	f.Add([]byte("LKBTRC02"))
 	f.Add(append(append([]byte{}, magic[:]...), make([]byte, 20)...))
+	f.Add(append(append([]byte{}, magicV2[:]...), 0, 0, 0, 0, 0, 0, 0, 0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))

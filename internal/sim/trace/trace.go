@@ -12,7 +12,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 )
@@ -214,16 +213,19 @@ func Write(w io.Writer, s *Stream) error {
 	return bw.Flush()
 }
 
-// Read deserializes a stream previously written with Write.
+// Read deserializes a stream written with Write or WriteTagged — either
+// container version is accepted; the content kind of v2 files is dropped
+// (use ReadTagged to see it).
 func Read(r io.Reader) (*Stream, error) {
-	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	tg, err := ReadTagged(r)
+	if err != nil {
+		return nil, err
 	}
-	if m != magic {
-		return nil, errors.New("trace: bad magic, not a leakbound trace")
-	}
+	return tg.Stream, nil
+}
+
+// readV1Body decodes everything after the v1 magic.
+func readV1Body(br *bufio.Reader) (*Stream, error) {
 	var hdr [20]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
@@ -248,42 +250,11 @@ func Read(r io.Reader) (*Stream, error) {
 	}
 	var cycle uint64
 	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadUvarint(br)
+		e, next, err := readEvent(br, cycle, int(i))
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d cycle: %w", i, err)
+			return nil, err
 		}
-		cycle += delta
-		lineAddr, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d lineaddr: %w", i, err)
-		}
-		frame, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d frame: %w", i, err)
-		}
-		if frame > 0xFFFFFFFF {
-			return nil, fmt.Errorf("trace: event %d frame %d overflows uint32", i, frame)
-		}
-		pc, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d pc: %w", i, err)
-		}
-		flags, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: event %d flags: %w", i, err)
-		}
-		e := Event{
-			Cycle:    cycle,
-			LineAddr: lineAddr,
-			Frame:    uint32(frame),
-			PC:       pc,
-			Cache:    CacheID(flags & 0x3),
-			Kind:     Kind((flags >> 2) & 0x3),
-			Miss:     flags&(1<<4) != 0,
-		}
-		if err := e.Validate(); err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
-		}
+		cycle = next
 		s.Events = append(s.Events, e)
 	}
 	if err := s.Validate(); err != nil {

@@ -123,6 +123,17 @@ func (b *Builder) Hot(lines int) Pattern {
 	return patternFunc(func() uint64 { return h.next().addr })
 }
 
+// SkipCode leaves a gap in the text segment before the next phase's body —
+// cold code (error paths, unexercised features) that occupies I-cache
+// address space without ever being fetched. Real programs are mostly cold
+// code; this is how a custom workload models that footprint.
+func (b *Builder) SkipCode(bytes uint64) *Builder {
+	if b.err == nil && bytes > 0 {
+		b.code.skip(bytes)
+	}
+	return b
+}
+
 // PhaseSpec describes one phase of the workload.
 type PhaseSpec struct {
 	// BodyInstrs is the loop body length in instructions (its cache lines
@@ -140,6 +151,11 @@ type PhaseSpec struct {
 	Stores []Pattern
 	// Weights, if non-nil, must have len(Loads)+len(Stores) entries.
 	Weights []int
+	// ReuseBody re-executes the previous phase's code region instead of
+	// carving new text: the same loop body re-entered later in the
+	// program. Schedule chunks of one logical phase share their I-cache
+	// footprint this way. BodyInstrs is ignored when set.
+	ReuseBody bool
 }
 
 // Phase appends a phase; call Build to finalize.
@@ -147,7 +163,11 @@ func (b *Builder) Phase(spec PhaseSpec) *Builder {
 	if b.err != nil {
 		return b
 	}
-	if spec.BodyInstrs <= 0 || spec.Iterations <= 0 {
+	if spec.ReuseBody && len(b.phases) == 0 {
+		b.err = errors.New("workload: ReuseBody with no previous phase")
+		return b
+	}
+	if (!spec.ReuseBody && spec.BodyInstrs <= 0) || spec.Iterations <= 0 {
 		b.err = fmt.Errorf("workload: phase needs positive body (%d) and iterations (%d)",
 			spec.BodyInstrs, spec.Iterations)
 		return b
@@ -191,8 +211,14 @@ func (b *Builder) Phase(spec PhaseSpec) *Builder {
 		refs = append(refs, refSpec{pattern: p, store: true, weight: w})
 		idx++
 	}
+	var body routine
+	if spec.ReuseBody {
+		body = b.phases[len(b.phases)-1].body
+	} else {
+		body = b.code.routine(spec.BodyInstrs)
+	}
 	b.phases = append(b.phases, builderPhase{
-		body:  b.code.routine(spec.BodyInstrs),
+		body:  body,
 		iters: spec.Iterations,
 		every: every,
 		refs:  refs,

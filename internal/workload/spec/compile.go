@@ -1,0 +1,267 @@
+package spec
+
+// The compiler lowers a validated spec onto workload.Builder. Lowering is
+// fully deterministic: the spec's seed derives every chase permutation, the
+// schedule split uses exact integer arithmetic, and the compiled Workload
+// rebuilds its Builder state on every Emit call so the stream is
+// restartable (the Workload contract) and bit-identical across calls.
+
+import (
+	"fmt"
+
+	"leakbound/internal/workload"
+)
+
+// Compile lowers the spec to a deterministic Workload at the given scale.
+// Scale stretches per-phase iteration counts exactly as it stretches the
+// builtin benchmarks. The spec is normalized (validated + defaults filled)
+// in place.
+func (s *Spec) Compile(scale float64) (workload.Workload, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("spec: non-positive scale %g", scale)
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	c := &compiled{spec: s, scale: scale}
+	// Lower once eagerly so geometry errors surface at compile time, not
+	// mid-emission.
+	if _, err := c.lower(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ScenarioName names the scenario for suite registration
+// (experiments.Scenario).
+func (s *Spec) ScenarioName() string { return s.Name }
+
+// ScenarioDigest identifies the scenario's content for cache keys
+// (experiments.Scenario).
+func (s *Spec) ScenarioDigest() string { return s.Digest() }
+
+// Workload compiles the spec at the suite's scale (experiments.Scenario).
+func (s *Spec) Workload(scale float64) (workload.Workload, error) {
+	return s.Compile(scale)
+}
+
+// compiled is a spec bound to a scale. Emit re-lowers on every call: the
+// Builder's access-pattern cursors are stateful, so sharing one lowering
+// across Emit calls would break restartability.
+type compiled struct {
+	spec  *Spec
+	scale float64
+}
+
+// Name implements workload.Workload.
+func (c *compiled) Name() string { return c.spec.Name }
+
+// Description implements workload.Workload.
+func (c *compiled) Description() string {
+	return fmt.Sprintf("spec-defined workload (%d phases, seed %d)", len(c.spec.Phases), c.spec.Seed)
+}
+
+// Emit implements workload.Workload.
+func (c *compiled) Emit(yield func(workload.Instr) bool) {
+	wl, err := c.lower()
+	if err != nil {
+		// Compile already lowered this exact spec successfully and lowering
+		// is deterministic, so this is unreachable.
+		panic("spec: re-lowering validated spec failed: " + err.Error())
+	}
+	wl.Emit(yield)
+}
+
+// lower builds the Builder program for the spec.
+func (c *compiled) lower() (workload.Workload, error) {
+	b := workload.NewBuilder(c.spec.Name)
+	for pi := range c.spec.Phases {
+		ph := &c.spec.Phases[pi]
+		loads, stores, weights := c.phasePatterns(b, pi, ph)
+		chunks := scheduleChunks(ph.Schedule)
+		iters := splitIterations(scaledIters(ph.Iterations, c.scale), chunks)
+		// The quiet pattern is shared by every lull of this phase: a few
+		// hot lines keep the core busy while the phase's data structures
+		// idle — which is what opens the long intervals bursty traffic
+		// exists to create.
+		var quiet workload.Pattern
+		first := true
+		for ci, ch := range chunks {
+			if iters[ci] == 0 {
+				continue
+			}
+			ps := workload.PhaseSpec{
+				BodyInstrs: ph.BodyInstrs,
+				Iterations: iters[ci],
+				MemEvery:   ph.MemEvery,
+				ReuseBody:  !first,
+			}
+			if ch.quiet {
+				if quiet == nil {
+					quiet = b.Hot(4)
+				}
+				ps.Loads = []workload.Pattern{quiet}
+			} else {
+				ps.Loads, ps.Stores, ps.Weights = loads, stores, weights
+			}
+			b.Phase(ps)
+			first = false
+		}
+		if ph.ColdCodeBytes > 0 {
+			b.SkipCode(ph.ColdCodeBytes)
+		}
+	}
+	return b.Build()
+}
+
+// phasePatterns instantiates the phase's kernel mix once, so pattern
+// cursors carry across schedule chunks (the data structure persists while
+// the schedule modulates how hard it is driven).
+func (c *compiled) phasePatterns(b *workload.Builder, pi int, ph *Phase) (loads, stores []workload.Pattern, weights []int) {
+	var loadW, storeW []int
+	chaseIdx := 0
+	addLoad := func(p workload.Pattern, w int) {
+		loads = append(loads, p)
+		loadW = append(loadW, w)
+	}
+	addStore := func(p workload.Pattern, w int) {
+		stores = append(stores, p)
+		storeW = append(storeW, w)
+	}
+	chaseSeed := func() uint64 {
+		chaseIdx++
+		return deriveSeed(c.spec.Seed, pi, chaseIdx)
+	}
+	for i := range ph.Mix {
+		m := &ph.Mix[i]
+		w := *m.Weight
+		if w == 0 {
+			continue // explicitly disabled entry
+		}
+		switch m.Kernel {
+		case KernelLoop:
+			p := b.Sequential(m.Bytes, m.Stride)
+			if m.Store {
+				addStore(p, w)
+			} else {
+				addLoad(p, w)
+			}
+		case KernelStride:
+			addLoad(b.Strided(m.Bytes, m.Block, m.Stride, m.Passes), w)
+		case KernelChase:
+			addLoad(b.Chase(m.Elems, m.ElemBytes, chaseSeed()), w)
+		case KernelHot:
+			addLoad(b.Hot(m.Lines), w)
+		case KernelMixed:
+			// A canned blend of the four behaviours over one footprint:
+			// dominant hot-scalar traffic, a streaming sweep, a pointer
+			// chase, and a write-back stream.
+			addLoad(b.Hot(12), 4*w)
+			addLoad(b.Sequential(m.Bytes, 64), 2*w)
+			addLoad(b.Chase(mixedChaseElems(m.Bytes), 64, chaseSeed()), w)
+			addStore(b.Sequential(m.Bytes, 64), w)
+		}
+	}
+	weights = append(loadW, storeW...)
+	return loads, stores, weights
+}
+
+// mixedChaseElems sizes the mixed kernel's chase table to a quarter of the
+// footprint, within the chase limits.
+func mixedChaseElems(bytes uint64) int {
+	elems := bytes / 256
+	if elems < 2 {
+		elems = 2
+	}
+	if elems > maxChaseElems {
+		elems = maxChaseElems
+	}
+	return int(elems)
+}
+
+// deriveSeed mixes the spec seed with the chase's position so every chase
+// table gets an independent, reproducible permutation (SplitMix64 finalizer,
+// the same generator the workload kernels use).
+func deriveSeed(seed uint64, phase, entry int) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*uint64(phase*maxMix+entry+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// chunk is one schedule slice: a relative share of the phase's iterations,
+// optionally run against the quiet (hot-only) mix.
+type chunk struct {
+	share int
+	quiet bool
+}
+
+// scheduleChunks expands a canonical schedule into its chunk sequence.
+func scheduleChunks(sc *Schedule) []chunk {
+	switch sc.Kind {
+	case ScheduleBursty:
+		// Each burst period = an active chunk and a quiet lull, split by
+		// duty in 1/16 granularity so the shares stay exact integers.
+		active := int(sc.Duty*16 + 0.5)
+		if active < 1 {
+			active = 1
+		}
+		if active > 15 {
+			active = 15
+		}
+		out := make([]chunk, 0, 2*sc.Steps)
+		for i := 0; i < sc.Steps; i++ {
+			out = append(out, chunk{share: active}, chunk{share: 16 - active, quiet: true})
+		}
+		return out
+	case ScheduleRamp:
+		out := make([]chunk, sc.Steps)
+		for i := range out {
+			out[i] = chunk{share: i + 1}
+		}
+		return out
+	case ScheduleDrain:
+		out := make([]chunk, sc.Steps)
+		for i := range out {
+			out[i] = chunk{share: sc.Steps - i}
+		}
+		return out
+	case ScheduleSpike:
+		out := make([]chunk, sc.Steps)
+		for i := range out {
+			out[i] = chunk{share: 1}
+		}
+		out[sc.Steps/2].share = sc.Magnitude
+		return out
+	default: // steady
+		return []chunk{{share: 1}}
+	}
+}
+
+// scaledIters applies the suite scale to a phase's iteration count.
+func scaledIters(iters int, scale float64) int {
+	n := int(float64(iters) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// splitIterations distributes total iterations across chunks proportionally
+// to their shares with exact cumulative rounding: the chunk counts always
+// sum to total, and the split is identical on every run.
+func splitIterations(total int, chunks []chunk) []int {
+	sum := 0
+	for _, ch := range chunks {
+		sum += ch.share
+	}
+	out := make([]int, len(chunks))
+	acc, assigned := 0, 0
+	for i, ch := range chunks {
+		acc += ch.share
+		want := total * acc / sum
+		out[i] = want - assigned
+		assigned = want
+	}
+	return out
+}

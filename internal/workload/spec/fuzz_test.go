@@ -1,0 +1,122 @@
+package spec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"leakbound/internal/workload"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the spec parser. Three properties
+// must hold for anything that parses:
+//
+//  1. canonicalization is a fixed point: Parse(s.Canonical()) reproduces s
+//     exactly (struct and bytes);
+//  2. validation never panics, whatever the input;
+//  3. compilation is deterministic: two compilations of the same spec emit
+//     the identical instruction prefix.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(validSpec())
+	f.Add([]byte(`{"version":1,"name":"tiny","seed":1,"phases":[
+		{"body_instrs":64,"iterations":2,"mix":[{"kernel":"hot"}]}]}`))
+	f.Add([]byte(`{"version":1,"name":"sched","seed":9,"phases":[
+		{"body_instrs":128,"iterations":32,
+		 "schedule":{"kind":"spike","steps":5,"magnitude":8},
+		 "mix":[{"kernel":"chase","elems":64},{"kernel":"loop","bytes":4096,"store":true}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"name":"x","phases":[{"body_instrs":1,"iterations":1,"mix":[{"kernel":"hot","weight":0}]}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Fixed point.
+		canon := s.Canonical()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form failed to reparse: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("canonical reparse differs:\n%+v\n%+v", s, s2)
+		}
+		if !bytes.Equal(canon, s2.Canonical()) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+		if s.Digest() != s2.Digest() {
+			t.Fatal("digest unstable across canonical round trip")
+		}
+		// Deterministic compilation. The tiny scale and the emission cap
+		// keep fuzz iterations fast even for maximal specs.
+		w1, err := s.Compile(0.01)
+		if err != nil {
+			t.Fatalf("validated spec failed to compile: %v", err)
+		}
+		w2, err := s.Compile(0.01)
+		if err != nil {
+			t.Fatalf("second compile of the same spec failed: %v", err)
+		}
+		const limit = 4096
+		a, b := collect(w1, limit), collect(w2, limit)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("two compilations emitted different streams")
+		}
+		if len(a) == 0 {
+			t.Fatal("compiled workload emitted nothing")
+		}
+	})
+}
+
+// FuzzReadReplay exercises the recording decoder: arbitrary bytes must
+// never panic, and whatever decodes must replay deterministically.
+func FuzzReadReplay(f *testing.F) {
+	s, err := Parse([]byte(`{"version":1,"name":"seed","seed":3,"phases":[
+		{"body_instrs":64,"iterations":4,"mix":[{"kernel":"hot"},{"kernel":"loop","bytes":4096}]}]}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := s.Compile(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LKBTRC02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadReplay(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if !reflect.DeepEqual(collect(r, 0), collect(r, 0)) {
+			t.Fatal("replay is not restartable")
+		}
+	})
+}
+
+// A maximal-ish spec should still compile and emit within bounds when
+// scaled down — the guard the fuzz emission cap relies on.
+func TestCompileTinyScaleBounded(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Compile(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w.Emit(func(workload.Instr) bool {
+		n++
+		return n < 1<<20
+	})
+	if n == 0 {
+		t.Fatal("no instructions at tiny scale")
+	}
+}

@@ -1,0 +1,82 @@
+package spec
+
+// Loading scenario sources from disk: a .json file is a workload spec, a
+// .trc file is a recorded instruction trace. Both present the same
+// Scenario shape to the suite, so `-specs dir` on the binaries evaluates a
+// directory of either kind next to the builtin benchmarks.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"leakbound/internal/workload"
+)
+
+// Source is a scenario loaded from disk: either a *Spec or a *Replay. It
+// structurally matches the experiments package's Scenario interface.
+type Source interface {
+	// ScenarioName identifies the scenario among the suite's benchmarks.
+	ScenarioName() string
+	// ScenarioDigest identifies the scenario's content (for cache keys).
+	ScenarioDigest() string
+	// Workload materializes the scenario at the suite's scale.
+	Workload(scale float64) (workload.Workload, error)
+}
+
+// LoadFile loads one scenario source by extension (.json spec, .trc
+// recording).
+func LoadFile(path string) (Source, error) {
+	switch ext := filepath.Ext(path); ext {
+	case ".json":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s: %w", path, err)
+		}
+		return s, nil
+	case ".trc":
+		return ReplayFile(path)
+	default:
+		return nil, fmt.Errorf("spec: %s: unsupported extension %q (want .json or .trc)", path, ext)
+	}
+}
+
+// LoadDir loads every .json and .trc file directly under dir, sorted by
+// file name so registration order is stable. Other files are ignored;
+// duplicate scenario names and invalid sources are errors.
+func LoadDir(dir string) ([]Source, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ext := filepath.Ext(e.Name()); ext == ".json" || ext == ".trc" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]Source, 0, len(names))
+	seen := make(map[string]string, len(names))
+	for _, n := range names {
+		src, err := LoadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		name := src.ScenarioName()
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("spec: %s and %s both define scenario %q", prev, n, name)
+		}
+		seen[name] = n
+		out = append(out, src)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b-spec.json", `{"version":1,"name":"beta","seed":2,"phases":[
+		{"body_instrs":64,"iterations":2,"mix":[{"kernel":"hot"}]}]}`)
+	write("a-spec.json", `{"version":1,"name":"alpha","seed":1,"phases":[
+		{"body_instrs":64,"iterations":2,"mix":[{"kernel":"loop","bytes":4096}]}]}`)
+	write("notes.txt", "ignored")
+
+	// A recording rides along as a .trc.
+	s, err := Parse([]byte(`{"version":1,"name":"rec","seed":3,"phases":[
+		{"body_instrs":64,"iterations":2,"mix":[{"kernel":"hot"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "c-recording.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Record(f, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srcs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, src := range srcs {
+		names = append(names, src.ScenarioName())
+	}
+	// Sorted by file name: a-spec, b-spec, c-recording.
+	want := []string{"alpha", "beta", "c-recording"}
+	if len(names) != len(want) {
+		t.Fatalf("loaded %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", names, want)
+		}
+	}
+	for _, src := range srcs {
+		wl, err := src.Workload(1)
+		if err != nil {
+			t.Fatalf("%s: %v", src.ScenarioName(), err)
+		}
+		if n := len(collect(wl, 16)); n == 0 {
+			t.Errorf("%s: empty workload", src.ScenarioName())
+		}
+		if src.ScenarioDigest() == "" {
+			t.Errorf("%s: empty digest", src.ScenarioName())
+		}
+	}
+
+	// Errors: duplicate scenario names, invalid spec, bad extension.
+	write("z-dup.json", `{"version":1,"name":"alpha","seed":9,"phases":[
+		{"body_instrs":64,"iterations":2,"mix":[{"kernel":"hot"}]}]}`)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("duplicate scenario names accepted")
+	}
+	if err := os.Remove(filepath.Join(dir, "z-dup.json")); err != nil {
+		t.Fatal(err)
+	}
+	write("broken.json", `{"version":99}`)
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "notes.txt")); err == nil {
+		t.Error("unsupported extension accepted")
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package spec
+
+// Recorded-trace scenarios: Record captures a Workload's instruction
+// stream into the trace codec's v2 container (content kind
+// InstrRecording), and Replay plays a recording back as a Workload whose
+// Emit reproduces the original stream bit-identically. The mapping is
+// lossless: Cycle carries the instruction index, LineAddr the byte
+// address, PC the static address, and Kind maps Op→Fetch, Load→Load,
+// Store→Store.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leakbound/internal/sim/trace"
+	"leakbound/internal/workload"
+)
+
+// Record writes wl's full instruction stream to w as an instruction
+// recording and returns the number of instructions captured.
+func Record(w io.Writer, wl workload.Workload) (uint64, error) {
+	tw, err := trace.NewWriter(w, trace.InstrRecording, 0)
+	if err != nil {
+		return 0, err
+	}
+	var idx uint64
+	var emitErr error
+	wl.Emit(func(in workload.Instr) bool {
+		e := trace.Event{
+			Cycle:    idx,
+			LineAddr: in.Addr,
+			PC:       in.PC,
+			Cache:    trace.L1I,
+			Kind:     recordKind(in.Kind),
+		}
+		if err := tw.Append(e); err != nil {
+			emitErr = err
+			return false
+		}
+		idx++
+		return true
+	})
+	if emitErr != nil {
+		return idx, emitErr
+	}
+	return idx, tw.Close()
+}
+
+// recordKind maps an instruction kind onto the trace codec's access kinds.
+func recordKind(k workload.InstrKind) trace.Kind {
+	switch k {
+	case workload.Load:
+		return trace.Load
+	case workload.Store:
+		return trace.Store
+	default:
+		return trace.Fetch
+	}
+}
+
+// replayKind inverts recordKind.
+func replayKind(k trace.Kind) workload.InstrKind {
+	switch k {
+	case trace.Load:
+		return workload.Load
+	case trace.Store:
+		return workload.Store
+	default:
+		return workload.Op
+	}
+}
+
+// Replay is a recorded instruction stream played back as a Workload. It
+// also implements the suite's Scenario shape (ScenarioName /
+// ScenarioDigest / Workload), so recordings register next to spec-defined
+// and builtin benchmarks. Replays are fixed recordings: the suite's scale
+// does not stretch them.
+type Replay struct {
+	name   string
+	digest string
+	instrs []workload.Instr
+}
+
+// Name implements workload.Workload.
+func (r *Replay) Name() string { return r.name }
+
+// Description implements workload.Workload.
+func (r *Replay) Description() string {
+	return fmt.Sprintf("recorded-trace replay (%d instructions)", len(r.instrs))
+}
+
+// Emit implements workload.Workload: the identical stream on every call.
+func (r *Replay) Emit(yield func(workload.Instr) bool) {
+	for _, in := range r.instrs {
+		if !yield(in) {
+			return
+		}
+	}
+}
+
+// Len returns the number of recorded instructions.
+func (r *Replay) Len() int { return len(r.instrs) }
+
+// ScenarioName names the scenario for suite registration.
+func (r *Replay) ScenarioName() string { return r.name }
+
+// ScenarioDigest is the hex sha256 of the recording's raw bytes.
+func (r *Replay) ScenarioDigest() string { return r.digest }
+
+// Workload returns the replay itself; recordings have a fixed length, so
+// scale is ignored.
+func (r *Replay) Workload(scale float64) (workload.Workload, error) { return r, nil }
+
+// ReadReplay decodes an instruction recording into a Replay named name.
+// Files holding timed cache events (tracegen's default output) are
+// rejected: they have lost the instruction stream and cannot be replayed.
+func ReadReplay(rd io.Reader, name string) (*Replay, error) {
+	if err := validateName("replay.name", name); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	tg, err := trace.ReadTagged(io.TeeReader(rd, h))
+	if err != nil {
+		return nil, err
+	}
+	if tg.Content != trace.InstrRecording {
+		return nil, fmt.Errorf("spec: trace holds %s, not an instruction recording (record with tracegen -record)", tg.Content)
+	}
+	instrs := make([]workload.Instr, len(tg.Stream.Events))
+	for i := range tg.Stream.Events {
+		e := &tg.Stream.Events[i]
+		instrs[i] = workload.Instr{
+			PC:   e.PC,
+			Addr: e.LineAddr,
+			Kind: replayKind(e.Kind),
+		}
+	}
+	return &Replay{
+		name:   name,
+		digest: hex.EncodeToString(h.Sum(nil)),
+		instrs: instrs,
+	}, nil
+}
+
+// ReplayFile loads a recording from path; the scenario takes the file's
+// base name without extension.
+func ReplayFile(path string) (*Replay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	r, err := ReadReplay(f, name)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", path, err)
+	}
+	return r, nil
+}

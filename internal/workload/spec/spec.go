@@ -1,0 +1,528 @@
+// Package spec defines the declarative workload-spec format: a versioned,
+// stdlib-only JSON description of a synthetic program — phases of weighted
+// kernel mixes (loop / stride / pointer-chase / hot-scalar / mixed) under a
+// phase schedule (steady, bursty, ramp, spike, drain) — that compiles
+// deterministically onto workload.Builder. The same spec + seed always
+// produces the identical instruction stream, so spec-defined scenarios slot
+// into the experiment pipeline with the same bit-identity guarantees as the
+// builtin six benchmarks.
+//
+// The package also provides recorded-trace scenarios: Record captures any
+// Workload's instruction stream to the trace codec's v2 container, and
+// Replay plays a recording back as a Workload, bit-identically.
+//
+// The grammar, compiler lowering, and replay semantics are documented in
+// DESIGN.md §14.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Version is the only spec format version this package reads.
+const Version = 1
+
+// Schedule kinds.
+const (
+	ScheduleSteady = "steady" // uniform intensity (the default)
+	ScheduleBursty = "bursty" // alternating active bursts and hot-only lulls
+	ScheduleRamp   = "ramp"   // intensity grows step by step
+	ScheduleSpike  = "spike"  // one step in the middle runs magnitude× hotter
+	ScheduleDrain  = "drain"  // intensity decays step by step (reverse ramp)
+)
+
+// Kernel names a mix entry can use.
+const (
+	KernelLoop   = "loop"   // sequential sweep over a region
+	KernelStride = "stride" // blocked multi-line-stride sweep
+	KernelChase  = "chase"  // pointer chase over a permutation table
+	KernelHot    = "hot"    // hot-scalar bursts over a few lines
+	KernelMixed  = "mixed"  // canned blend: hot + stream + chase + store
+)
+
+// Validation limits. They bound memory and run length so that a hostile
+// spec (fuzzing, the HTTP body path) cannot allocate or loop unboundedly.
+const (
+	maxNameLen    = 64
+	maxPhases     = 64
+	maxMix        = 32
+	maxBodyInstrs = 1 << 20
+	maxIterations = 1 << 28
+	maxMemEvery   = 64
+	maxColdCode   = 1 << 30
+	maxSteps      = 64
+	maxMagnitude  = 64
+	maxWeight     = 1024
+	maxRegion     = 1 << 30
+	maxChaseElems = 1 << 16
+	maxElemBytes  = 1 << 16
+	maxHotLines   = 4096
+)
+
+// Spec is the top-level workload description.
+type Spec struct {
+	// Version must be 1.
+	Version int `json:"version"`
+	// Name identifies the scenario (lowercase, [a-z0-9._-], starts with a
+	// letter). It must not collide with a builtin benchmark name when the
+	// spec is registered with the suite.
+	Name string `json:"name"`
+	// Seed drives every pseudo-random choice the compiler makes (chase
+	// permutations); the same spec + seed is bit-identical.
+	Seed uint64 `json:"seed"`
+	// Phases execute in order.
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is one loop nest: a code body executed for a number of iterations,
+// referencing a weighted mix of data-access kernels under a schedule.
+type Phase struct {
+	// Name is optional, for documentation.
+	Name string `json:"name,omitempty"`
+	// BodyInstrs is the loop body length in instructions; its cache lines
+	// are the phase's I-cache footprint.
+	BodyInstrs int `json:"body_instrs"`
+	// Iterations executes the body this many times (scaled by the suite's
+	// workload scale).
+	Iterations int `json:"iterations"`
+	// MemEvery places one memory reference every N instructions
+	// (default 3 — the ~1/3 density of real code).
+	MemEvery int `json:"mem_every,omitempty"`
+	// ColdCodeBytes leaves a never-executed text gap after this phase
+	// (error paths, unexercised features).
+	ColdCodeBytes uint64 `json:"cold_code_bytes,omitempty"`
+	// Schedule shapes intensity over the phase (default steady).
+	Schedule *Schedule `json:"schedule,omitempty"`
+	// Mix is the weighted kernel rotation the phase's references cycle
+	// through.
+	Mix []MixEntry `json:"mix"`
+}
+
+// Schedule expresses cohort-style dynamics as iteration multipliers: the
+// phase's iterations are split into chunks whose relative sizes follow the
+// schedule shape. Bursty lulls run a hot-only quiet mix, so the phase's
+// data structures idle between bursts — exactly the long-interval traffic
+// the leakage study cares about.
+type Schedule struct {
+	Kind string `json:"kind"`
+	// Steps is the number of schedule steps (bursts for bursty; intensity
+	// steps for ramp/spike/drain). Defaults: bursty/ramp/drain 4, spike 5.
+	Steps int `json:"steps,omitempty"`
+	// Duty is the active fraction of each bursty period, in (0,1)
+	// (default 0.5). Only valid for bursty.
+	Duty float64 `json:"duty,omitempty"`
+	// Magnitude is how many times hotter the spike step runs (default 8).
+	// Only valid for spike.
+	Magnitude int `json:"magnitude,omitempty"`
+}
+
+// MixEntry is one kernel in a phase's rotation. Weight biases the rotation
+// (nil means 1; an explicit 0 disables the entry). Geometry fields apply
+// per kernel:
+//
+//	loop:   bytes (required), stride (default 64), store
+//	stride: bytes (required), block (default min(bytes, 32KB)),
+//	        stride (default 128), passes (default 4)
+//	chase:  elems (required), elem_bytes (default 64)
+//	hot:    lines (default 12)
+//	mixed:  bytes (required)
+type MixEntry struct {
+	Kernel    string `json:"kernel"`
+	Weight    *int   `json:"weight,omitempty"`
+	Bytes     uint64 `json:"bytes,omitempty"`
+	Stride    uint64 `json:"stride,omitempty"`
+	Block     uint64 `json:"block,omitempty"`
+	Passes    int    `json:"passes,omitempty"`
+	Elems     int    `json:"elems,omitempty"`
+	ElemBytes uint64 `json:"elem_bytes,omitempty"`
+	Lines     int    `json:"lines,omitempty"`
+	Store     bool   `json:"store,omitempty"`
+}
+
+// ValidationError is a spec validation failure with the position of the
+// offending field, e.g. "spec.phases[2].mix: weights sum to 0".
+type ValidationError struct {
+	Path string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return e.Path + ": " + e.Msg }
+
+// errAt builds a positional validation error.
+func errAt(path, format string, args ...any) error {
+	return &ValidationError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse strictly decodes, validates, and canonicalizes a spec: unknown
+// fields are rejected, every constraint is checked with a positional
+// message, and defaults are filled in so Canonical() is a fixed point
+// (Parse(s.Canonical()) reproduces s exactly).
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	// Exactly one JSON value: trailing garbage is a malformed spec.
+	if dec.More() {
+		return nil, errAt("spec", "trailing data after spec object")
+	}
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks every constraint and reports the first violation with
+// its position. It does not modify the spec.
+func (s *Spec) Validate() error {
+	if s.Version != Version {
+		return errAt("spec.version", "unsupported version %d (want %d)", s.Version, Version)
+	}
+	if err := validateName("spec.name", s.Name); err != nil {
+		return err
+	}
+	if len(s.Phases) == 0 {
+		return errAt("spec.phases", "at least one phase required")
+	}
+	if len(s.Phases) > maxPhases {
+		return errAt("spec.phases", "%d phases exceeds limit %d", len(s.Phases), maxPhases)
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].validate(fmt.Sprintf("spec.phases[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// normalize validates and fills defaults in place; idempotent.
+func (s *Spec) normalize() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for i := range s.Phases {
+		s.Phases[i].fillDefaults()
+	}
+	return nil
+}
+
+// Canonical returns the canonical JSON encoding. The spec must be
+// normalized (as returned by Parse); Canonical is then a fixed point of
+// Parse and the input to Digest.
+func (s *Spec) Canonical() []byte {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only marshalable types; this cannot happen.
+		panic("spec: canonical marshal failed: " + err.Error())
+	}
+	return raw
+}
+
+// Digest returns the hex sha256 of the canonical encoding — the identity
+// the suite's disk cache and the daemon's ETags key scenario results on.
+func (s *Spec) Digest() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// validateName enforces the scenario-name charset: lowercase ASCII letter
+// first, then [a-z0-9._-].
+func validateName(path, name string) error {
+	if name == "" {
+		return errAt(path, "name required")
+	}
+	if len(name) > maxNameLen {
+		return errAt(path, "name %q exceeds %d characters", name, maxNameLen)
+	}
+	for i, r := range name {
+		ok := (r >= 'a' && r <= 'z') ||
+			(i > 0 && ((r >= '0' && r <= '9') || r == '.' || r == '_' || r == '-'))
+		if !ok {
+			return errAt(path, "name %q: invalid character %q (want lowercase [a-z0-9._-], starting with a letter)", name, r)
+		}
+	}
+	return nil
+}
+
+// validate checks one phase at the given path.
+func (p *Phase) validate(path string) error {
+	if p.Name != "" {
+		if err := validateName(path+".name", p.Name); err != nil {
+			return err
+		}
+	}
+	if p.BodyInstrs <= 0 || p.BodyInstrs > maxBodyInstrs {
+		return errAt(path+".body_instrs", "must be in [1, %d], got %d", maxBodyInstrs, p.BodyInstrs)
+	}
+	if p.Iterations <= 0 || p.Iterations > maxIterations {
+		return errAt(path+".iterations", "must be in [1, %d], got %d", maxIterations, p.Iterations)
+	}
+	if p.MemEvery < 0 || p.MemEvery > maxMemEvery {
+		return errAt(path+".mem_every", "must be in [0, %d], got %d", maxMemEvery, p.MemEvery)
+	}
+	if p.ColdCodeBytes > maxColdCode {
+		return errAt(path+".cold_code_bytes", "%d exceeds limit %d", p.ColdCodeBytes, maxColdCode)
+	}
+	if p.Schedule != nil {
+		if err := p.Schedule.validate(path + ".schedule"); err != nil {
+			return err
+		}
+	}
+	if len(p.Mix) == 0 {
+		return errAt(path+".mix", "at least one kernel required")
+	}
+	if len(p.Mix) > maxMix {
+		return errAt(path+".mix", "%d entries exceeds limit %d", len(p.Mix), maxMix)
+	}
+	totalWeight := 0
+	for i := range p.Mix {
+		if err := p.Mix[i].validate(fmt.Sprintf("%s.mix[%d]", path, i)); err != nil {
+			return err
+		}
+		if w := p.Mix[i].Weight; w != nil {
+			totalWeight += *w
+		} else {
+			totalWeight++
+		}
+	}
+	if totalWeight == 0 {
+		return errAt(path+".mix", "weights sum to 0")
+	}
+	return nil
+}
+
+// fillDefaults canonicalizes one phase after validation.
+func (p *Phase) fillDefaults() {
+	if p.MemEvery == 0 {
+		p.MemEvery = 3
+	}
+	if p.Schedule == nil {
+		p.Schedule = &Schedule{Kind: ScheduleSteady}
+	}
+	p.Schedule.fillDefaults()
+	for i := range p.Mix {
+		p.Mix[i].fillDefaults()
+	}
+}
+
+// validate checks schedule shape constraints.
+func (sc *Schedule) validate(path string) error {
+	switch sc.Kind {
+	case ScheduleSteady:
+		if sc.Steps != 0 || sc.Duty != 0 || sc.Magnitude != 0 {
+			return errAt(path, "steady takes no steps/duty/magnitude")
+		}
+	case ScheduleBursty:
+		if sc.Steps < 0 || sc.Steps > maxSteps {
+			return errAt(path+".steps", "must be in [1, %d], got %d", maxSteps, sc.Steps)
+		}
+		if sc.Duty != 0 && (sc.Duty <= 0 || sc.Duty >= 1) {
+			return errAt(path+".duty", "must be in (0, 1), got %g", sc.Duty)
+		}
+		if sc.Magnitude != 0 {
+			return errAt(path+".magnitude", "does not apply to kind %q", sc.Kind)
+		}
+	case ScheduleRamp, ScheduleDrain:
+		if sc.Steps < 0 || sc.Steps == 1 || sc.Steps > maxSteps {
+			return errAt(path+".steps", "must be in [2, %d], got %d", maxSteps, sc.Steps)
+		}
+		if sc.Duty != 0 {
+			return errAt(path+".duty", "does not apply to kind %q", sc.Kind)
+		}
+		if sc.Magnitude != 0 {
+			return errAt(path+".magnitude", "does not apply to kind %q", sc.Kind)
+		}
+	case ScheduleSpike:
+		if sc.Steps < 0 || (sc.Steps > 0 && sc.Steps < 3) || sc.Steps > maxSteps {
+			return errAt(path+".steps", "must be in [3, %d], got %d", maxSteps, sc.Steps)
+		}
+		if sc.Magnitude < 0 || sc.Magnitude == 1 || sc.Magnitude > maxMagnitude {
+			return errAt(path+".magnitude", "must be in [2, %d], got %d", maxMagnitude, sc.Magnitude)
+		}
+		if sc.Duty != 0 {
+			return errAt(path+".duty", "does not apply to kind %q", sc.Kind)
+		}
+	default:
+		return errAt(path+".kind", "unknown schedule kind %q (want %s)", sc.Kind,
+			strings.Join([]string{ScheduleSteady, ScheduleBursty, ScheduleRamp, ScheduleSpike, ScheduleDrain}, "|"))
+	}
+	return nil
+}
+
+// fillDefaults canonicalizes a validated schedule.
+func (sc *Schedule) fillDefaults() {
+	switch sc.Kind {
+	case ScheduleBursty:
+		if sc.Steps == 0 {
+			sc.Steps = 4
+		}
+		if sc.Duty == 0 {
+			sc.Duty = 0.5
+		}
+	case ScheduleRamp, ScheduleDrain:
+		if sc.Steps == 0 {
+			sc.Steps = 4
+		}
+	case ScheduleSpike:
+		if sc.Steps == 0 {
+			sc.Steps = 5
+		}
+		if sc.Magnitude == 0 {
+			sc.Magnitude = 8
+		}
+	}
+}
+
+// validate checks one mix entry: weight range, kernel name, per-kernel
+// geometry, and that no field foreign to the kernel is set.
+func (m *MixEntry) validate(path string) error {
+	if m.Weight != nil && (*m.Weight < 0 || *m.Weight > maxWeight) {
+		return errAt(path+".weight", "must be in [0, %d], got %d", maxWeight, *m.Weight)
+	}
+	if err := m.forbidForeign(path); err != nil {
+		return err
+	}
+	switch m.Kernel {
+	case KernelLoop:
+		if m.Bytes < 64 || m.Bytes > maxRegion {
+			return errAt(path+".bytes", "must be in [64, %d], got %d", maxRegion, m.Bytes)
+		}
+		if m.Stride > m.Bytes {
+			return errAt(path+".stride", "stride %d exceeds region of %d bytes", m.Stride, m.Bytes)
+		}
+	case KernelStride:
+		if m.Bytes < 128 || m.Bytes > maxRegion {
+			return errAt(path+".bytes", "must be in [128, %d], got %d", maxRegion, m.Bytes)
+		}
+		block := m.Block
+		if block == 0 {
+			block = defaultBlock(m.Bytes)
+		}
+		if block < 64 || block > m.Bytes {
+			return errAt(path+".block", "must be in [64, bytes], got %d", m.Block)
+		}
+		stride := m.Stride
+		if stride == 0 {
+			stride = defaultStride(block)
+		}
+		if stride < 64 || stride > block {
+			return errAt(path+".stride", "must be in [64, block], got %d", m.Stride)
+		}
+		if m.Passes < 0 || m.Passes > 64 {
+			return errAt(path+".passes", "must be in [1, 64], got %d", m.Passes)
+		}
+	case KernelChase:
+		if m.Elems < 2 || m.Elems > maxChaseElems {
+			return errAt(path+".elems", "must be in [2, %d], got %d", maxChaseElems, m.Elems)
+		}
+		if m.ElemBytes != 0 && (m.ElemBytes < 8 || m.ElemBytes > maxElemBytes) {
+			return errAt(path+".elem_bytes", "must be in [8, %d], got %d", maxElemBytes, m.ElemBytes)
+		}
+	case KernelHot:
+		if m.Lines < 0 || m.Lines > maxHotLines {
+			return errAt(path+".lines", "must be in [1, %d], got %d", maxHotLines, m.Lines)
+		}
+	case KernelMixed:
+		if m.Bytes < 4096 || m.Bytes > maxRegion {
+			return errAt(path+".bytes", "must be in [4096, %d], got %d", maxRegion, m.Bytes)
+		}
+	default:
+		return errAt(path+".kernel", "unknown kernel %q (want %s)", m.Kernel,
+			strings.Join([]string{KernelLoop, KernelStride, KernelChase, KernelHot, KernelMixed}, "|"))
+	}
+	return nil
+}
+
+// kernelFields maps each kernel to the geometry fields it accepts.
+var kernelFields = map[string]map[string]bool{
+	KernelLoop:   {"bytes": true, "stride": true, "store": true},
+	KernelStride: {"bytes": true, "block": true, "stride": true, "passes": true},
+	KernelChase:  {"elems": true, "elem_bytes": true},
+	KernelHot:    {"lines": true},
+	KernelMixed:  {"bytes": true},
+}
+
+// forbidForeign rejects geometry fields that do not apply to the kernel;
+// an unknown kernel is reported by validate's switch instead.
+func (m *MixEntry) forbidForeign(path string) error {
+	allowed, known := kernelFields[m.Kernel]
+	if !known {
+		return nil
+	}
+	set := []struct {
+		name string
+		used bool
+	}{
+		{"bytes", m.Bytes != 0},
+		{"stride", m.Stride != 0},
+		{"block", m.Block != 0},
+		{"passes", m.Passes != 0},
+		{"elems", m.Elems != 0},
+		{"elem_bytes", m.ElemBytes != 0},
+		{"lines", m.Lines != 0},
+		{"store", m.Store},
+	}
+	for _, f := range set {
+		if f.used && !allowed[f.name] {
+			return errAt(path, "field %q does not apply to kernel %q", f.name, m.Kernel)
+		}
+	}
+	return nil
+}
+
+// fillDefaults canonicalizes a validated mix entry.
+func (m *MixEntry) fillDefaults() {
+	if m.Weight == nil {
+		one := 1
+		m.Weight = &one
+	}
+	switch m.Kernel {
+	case KernelLoop:
+		if m.Stride == 0 {
+			m.Stride = 64
+		}
+	case KernelStride:
+		if m.Block == 0 {
+			m.Block = defaultBlock(m.Bytes)
+		}
+		if m.Stride == 0 {
+			m.Stride = defaultStride(m.Block)
+		}
+		if m.Passes == 0 {
+			m.Passes = 4
+		}
+	case KernelChase:
+		if m.ElemBytes == 0 {
+			m.ElemBytes = 64
+		}
+	case KernelHot:
+		if m.Lines == 0 {
+			m.Lines = 12
+		}
+	}
+}
+
+// defaultBlock picks the stride kernel's default re-sweep block.
+func defaultBlock(regionBytes uint64) uint64 {
+	if regionBytes < 32<<10 {
+		return regionBytes
+	}
+	return 32 << 10
+}
+
+// defaultStride picks the stride kernel's default line-skipping stride,
+// never exceeding the block it sweeps.
+func defaultStride(block uint64) uint64 {
+	if block < 128 {
+		return block
+	}
+	return 128
+}

@@ -1,0 +1,381 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"leakbound/internal/workload"
+)
+
+// validSpec returns a spec JSON exercising every kernel and a schedule.
+func validSpec() []byte {
+	return []byte(`{
+		"version": 1,
+		"name": "test-mix",
+		"seed": 42,
+		"phases": [
+			{
+				"name": "warmup",
+				"body_instrs": 400,
+				"iterations": 20,
+				"mix": [
+					{"kernel": "hot", "lines": 8},
+					{"kernel": "loop", "weight": 2, "bytes": 65536, "stride": 64}
+				]
+			},
+			{
+				"body_instrs": 900,
+				"iterations": 60,
+				"mem_every": 4,
+				"cold_code_bytes": 8192,
+				"schedule": {"kind": "bursty", "steps": 3, "duty": 0.25},
+				"mix": [
+					{"kernel": "chase", "weight": 1, "elems": 512},
+					{"kernel": "stride", "bytes": 262144, "block": 32768, "stride": 128, "passes": 4},
+					{"kernel": "loop", "weight": 3, "bytes": 131072, "store": true},
+					{"kernel": "mixed", "bytes": 16384}
+				]
+			}
+		]
+	}`)
+}
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test-mix" || s.Seed != 42 || len(s.Phases) != 2 {
+		t.Fatalf("parsed spec: %+v", s)
+	}
+	// Defaults filled.
+	if s.Phases[0].MemEvery != 3 {
+		t.Errorf("mem_every default = %d, want 3", s.Phases[0].MemEvery)
+	}
+	if s.Phases[0].Schedule == nil || s.Phases[0].Schedule.Kind != ScheduleSteady {
+		t.Errorf("schedule default = %+v", s.Phases[0].Schedule)
+	}
+	if w := s.Phases[0].Mix[0].Weight; w == nil || *w != 1 {
+		t.Errorf("weight default = %v", w)
+	}
+	if s.Phases[1].Mix[2].Stride != 64 {
+		t.Errorf("loop stride default = %d", s.Phases[1].Mix[2].Stride)
+	}
+	if s.Phases[1].Mix[0].ElemBytes != 64 {
+		t.Errorf("elem_bytes default = %d", s.Phases[1].Mix[0].ElemBytes)
+	}
+}
+
+func TestCanonicalFixedPoint(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := s.Canonical()
+	s2, err := Parse(canon)
+	if err != nil {
+		t.Fatalf("reparse of canonical form: %v", err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("canonical reparse differs:\n%+v\n%+v", s, s2)
+	}
+	if !bytes.Equal(canon, s2.Canonical()) {
+		t.Error("canonical encoding is not a fixed point")
+	}
+	if s.Digest() != s2.Digest() {
+		t.Error("digest changed across canonical round trip")
+	}
+	if len(s.Digest()) != 64 {
+		t.Errorf("digest %q is not hex sha256", s.Digest())
+	}
+}
+
+// TestValidationMessages pins the positional error format, including the
+// exact "weights sum to 0" message the issue specifies.
+func TestValidationMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{
+			"weights sum to zero",
+			`{"version":1,"name":"x","phases":[
+				{"body_instrs":100,"iterations":1,"mix":[{"kernel":"hot"}]},
+				{"body_instrs":100,"iterations":1,"mix":[{"kernel":"hot"}]},
+				{"body_instrs":100,"iterations":1,"mix":[
+					{"kernel":"hot","weight":0},{"kernel":"loop","weight":0,"bytes":4096}]}]}`,
+			"spec.phases[2].mix: weights sum to 0",
+		},
+		{
+			"bad version",
+			`{"version":7,"name":"x","phases":[]}`,
+			"spec.version: unsupported version 7",
+		},
+		{
+			"missing name",
+			`{"version":1,"phases":[]}`,
+			"spec.name: name required",
+		},
+		{
+			"bad name charset",
+			`{"version":1,"name":"Nope!","phases":[]}`,
+			"spec.name: name \"Nope!\"",
+		},
+		{
+			"no phases",
+			`{"version":1,"name":"x","phases":[]}`,
+			"spec.phases: at least one phase required",
+		},
+		{
+			"bad body",
+			`{"version":1,"name":"x","phases":[{"body_instrs":0,"iterations":1,"mix":[{"kernel":"hot"}]}]}`,
+			"spec.phases[0].body_instrs:",
+		},
+		{
+			"bad kernel",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"mix":[{"kernel":"zap"}]}]}`,
+			"spec.phases[0].mix[0].kernel: unknown kernel \"zap\"",
+		},
+		{
+			"foreign field",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"mix":[{"kernel":"loop","bytes":4096,"lines":4}]}]}`,
+			"spec.phases[0].mix[0]: field \"lines\" does not apply to kernel \"loop\"",
+		},
+		{
+			"bad schedule kind",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"schedule":{"kind":"diurnal"},"mix":[{"kernel":"hot"}]}]}`,
+			"spec.phases[0].schedule.kind: unknown schedule kind \"diurnal\"",
+		},
+		{
+			"steady with steps",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"schedule":{"kind":"steady","steps":3},"mix":[{"kernel":"hot"}]}]}`,
+			"spec.phases[0].schedule: steady takes no steps/duty/magnitude",
+		},
+		{
+			"bad duty",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"schedule":{"kind":"bursty","duty":1.5},"mix":[{"kernel":"hot"}]}]}`,
+			"spec.phases[0].schedule.duty: must be in (0, 1)",
+		},
+		{
+			"chase without elems",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"mix":[{"kernel":"chase"}]}]}`,
+			"spec.phases[0].mix[0].elems:",
+		},
+		{
+			"negative weight",
+			`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"mix":[{"kernel":"hot","weight":-1}]}]}`,
+			"spec.phases[0].mix[0].weight:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Errorf("error is %T, not *ValidationError", err)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"version":1,"name":"x","frobnicate":true,"phases":[]}`))
+	if err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+	_, err = Parse([]byte(`{"version":1,"name":"x","phases":[{"body_instrs":10,"iterations":1,"mix":[{"kernel":"hot","color":"red"}]}]}`))
+	if err == nil {
+		t.Fatal("unknown mix field accepted")
+	}
+	_, err = Parse([]byte(`{"version":1,"name":"x","phases":[]} trailing`))
+	if err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestCompileDeterminism(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collect(w1, 0)
+	if len(a) == 0 {
+		t.Fatal("compiled workload emitted nothing")
+	}
+	if !reflect.DeepEqual(a, collect(w2, 0)) {
+		t.Error("two compilations of the same spec differ")
+	}
+	// Restartability: a second Emit on the same Workload is identical.
+	if !reflect.DeepEqual(a, collect(w1, 0)) {
+		t.Error("second Emit differs from the first")
+	}
+}
+
+func TestCompileSeedChangesStream(t *testing.T) {
+	src := validSpec()
+	s1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytes.Replace(src, []byte(`"seed": 42`), []byte(`"seed": 43`), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest() == s2.Digest() {
+		t.Fatal("different seeds, same digest")
+	}
+	w1, err := s1.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s2.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(collect(w1, 0), collect(w2, 0)) {
+		t.Error("different seeds produced identical streams (chase tables should differ)")
+	}
+}
+
+func TestCompileScale(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := s.Compile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFull, _ := workload.Count(full)
+	nHalf, _ := workload.Count(half)
+	if nHalf >= nFull || nHalf == 0 {
+		t.Errorf("scale 0.5 emitted %d instrs vs %d at scale 1", nHalf, nFull)
+	}
+	if _, err := s.Compile(0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestCompileEarlyStop(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w.Emit(func(workload.Instr) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("yield=false stopped after %d instrs, want 10", n)
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	for _, kind := range []string{ScheduleSteady, ScheduleBursty, ScheduleRamp, ScheduleSpike, ScheduleDrain} {
+		sched := `"schedule":{"kind":"` + kind + `"},`
+		if kind == ScheduleSteady {
+			sched = ""
+		}
+		src := `{"version":1,"name":"s-` + kind + `","seed":7,"phases":[
+			{"body_instrs":300,"iterations":64,` + sched + `
+			 "mix":[{"kernel":"loop","bytes":65536}]}]}`
+		s, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		w, err := s.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		total, memFrac := workload.Count(w)
+		if total == 0 {
+			t.Errorf("%s: empty stream", kind)
+		}
+		if memFrac <= 0 || memFrac >= 1 {
+			t.Errorf("%s: memFrac %g out of range", kind, memFrac)
+		}
+	}
+}
+
+// TestScheduleSplitPreservesIterations checks the exact-integer split.
+func TestScheduleSplitPreservesIterations(t *testing.T) {
+	for _, sc := range []*Schedule{
+		{Kind: ScheduleSteady},
+		{Kind: ScheduleBursty, Steps: 3, Duty: 0.25},
+		{Kind: ScheduleRamp, Steps: 5},
+		{Kind: ScheduleDrain, Steps: 4},
+		{Kind: ScheduleSpike, Steps: 7, Magnitude: 10},
+	} {
+		chunks := scheduleChunks(sc)
+		for _, total := range []int{1, 7, 100, 12345} {
+			got := splitIterations(total, chunks)
+			sum := 0
+			for _, n := range got {
+				sum += n
+			}
+			if sum != total {
+				t.Errorf("%s/%d: split sums to %d", sc.Kind, total, sum)
+			}
+		}
+	}
+}
+
+func TestSpecScenarioShape(t *testing.T) {
+	s, err := Parse(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ScenarioName() != "test-mix" {
+		t.Errorf("ScenarioName = %q", s.ScenarioName())
+	}
+	if s.ScenarioDigest() != s.Digest() {
+		t.Error("ScenarioDigest != Digest")
+	}
+	w, err := s.Workload(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "test-mix" {
+		t.Errorf("workload name = %q", w.Name())
+	}
+	if w.Description() == "" {
+		t.Error("empty description")
+	}
+}
+
+// collect gathers up to limit instructions (0 = all).
+func collect(w workload.Workload, limit int) []workload.Instr {
+	var out []workload.Instr
+	w.Emit(func(in workload.Instr) bool {
+		out = append(out, in)
+		return limit == 0 || len(out) < limit
+	})
+	return out
+}

@@ -17,9 +17,14 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrUnknownBenchmark is wrapped by New and Validate when the requested
+// name is not one of the builtin six; callers match it with errors.Is.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
 
 // InstrKind classifies an emitted instruction.
 type InstrKind uint8
@@ -99,7 +104,7 @@ func New(name string, scale float64) (Workload, error) {
 	case "vortex":
 		return newVortex(scale), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("workload: %w %q (known: %v)", ErrUnknownBenchmark, name, Names())
 	}
 }
 
@@ -163,5 +168,5 @@ func Validate(name string) error {
 	if i < len(benchmarkNames) && benchmarkNames[i] == name {
 		return nil
 	}
-	return fmt.Errorf("workload: unknown benchmark %q", name)
+	return fmt.Errorf("workload: %w %q", ErrUnknownBenchmark, name)
 }
