@@ -17,8 +17,10 @@
 package interval
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -161,7 +163,7 @@ func (d *Distribution) compact() {
 	if d.tailClean == len(d.tail) {
 		return
 	}
-	sort.Slice(d.tail, func(i, j int) bool { return d.tail[i].key < d.tail[j].key })
+	slices.SortFunc(d.tail, func(a, b tailBucket) int { return cmp.Compare(a.key, b.key) })
 	out := d.tail[:0]
 	for _, b := range d.tail {
 		if n := len(out); n > 0 && out[n-1].key == b.key {
