@@ -53,11 +53,23 @@ func (c *FlagsClass) TotalMass() uint64 {
 // float64(length) against its thresholds, keeping the two paths'
 // branch decisions aligned bucket for bucket.
 func (c *FlagsClass) Prefix(cut float64) (count, mass uint64) {
-	i := sort.Search(len(c.Lengths), func(i int) bool { return float64(c.Lengths[i]) > cut })
-	if i == 0 {
+	// Inline binary search (sort.Search semantics: smallest i with
+	// float64(Lengths[i]) > cut) — Prefix runs twice per policy piece per
+	// flags class on the closed-form fast path, and the sort.Search
+	// closure capturing c and cut was the path's one allocation site.
+	lo, hi := 0, len(c.Lengths)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(c.Lengths[mid]) > cut {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return 0, 0
 	}
-	return c.CumCount[i-1], c.CumMass[i-1]
+	return c.CumCount[lo-1], c.CumMass[lo-1]
 }
 
 // Aggregates is an immutable prefix-sum summary of a Distribution,
