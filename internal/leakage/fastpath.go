@@ -92,13 +92,13 @@ func EvaluateAggregate(t power.Technology, agg *interval.Aggregates, p Policy) (
 // Pareto population. Results are indexed like policies; errors carry the
 // failing policy's name, matching EvaluateAll.
 func EvaluateMany(t power.Technology, agg *interval.Aggregates, ps []Policy) ([]Evaluation, error) {
-	out := make([]Evaluation, 0, len(ps))
-	for _, p := range ps {
+	out := make([]Evaluation, len(ps))
+	for i, p := range ps {
 		ev, err := EvaluateAggregate(t, agg, p)
 		if err != nil {
 			return nil, fmt.Errorf("leakage: evaluating %s: %w", p.Name(), err)
 		}
-		out = append(out, ev)
+		out[i] = ev
 	}
 	return out, nil
 }
