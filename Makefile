@@ -16,7 +16,9 @@ race:
 
 # gofmt -l lists unformatted files; any output fails the target.
 # leakbound-lint is the repo's own multichecker (determinism, ctxflow,
-# errwrap, telemetryscope, locks); `go run` needs no install step.
+# errwrap, telemetryscope, locks, plus the interprocedural hotalloc,
+# detflow, ctxpair); `go run` needs no install step. -timing prints the
+# per-analyzer wall time so a slow summary pass is visible immediately.
 # staticcheck runs when installed (CI installs the pinned 2024.1.1; offline
 # dev boxes may not have it, and must not fail for lack of a network).
 lint:
@@ -25,7 +27,7 @@ lint:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	$(GO) run ./cmd/leakbound-lint ./...
+	$(GO) run ./cmd/leakbound-lint -timing ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Alloc is one expression that may allocate on the heap, with a short
+// description of why. The classifier is intentionally syntactic +
+// type-based — it does not model the compiler's escape analysis, so it
+// over-approximates (a flagged `new` that provably stays on the stack is
+// still flagged); hot-path code either avoids the construct or carries a
+// //lint:ignore with the amortization argument.
+type Alloc struct {
+	Pos  token.Pos
+	What string
+}
+
+// Allocations classifies every potentially-allocating expression in body,
+// excluding the bodies of nested function literals (which are separate
+// call-graph nodes and classified on their own) — the literal itself is
+// still classified as a capturing closure when it closes over variables.
+// sig is the enclosing function's signature, used to detect implicit
+// interface boxing at return statements; it may be nil.
+func Allocations(info *types.Info, body *ast.BlockStmt, sig *types.Signature) []Alloc {
+	var out []Alloc
+	report := func(pos token.Pos, what string) {
+		out = append(out, Alloc{Pos: pos, What: what})
+	}
+
+	// Expressions in call-operator or address-of position, so method
+	// values and composite literals are not double-counted.
+	funPos := make(map[ast.Node]bool)
+	addrPos := make(map[ast.Node]bool)
+	walkOwn(body, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			funPos[ast.Unparen(x.Fun)] = true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				addrPos[ast.Unparen(x.X)] = true
+			}
+		}
+	})
+
+	walkOwn(body, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			classifyCallAllocs(info, x, report)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if addrPos[x] {
+				break
+			}
+			switch typeOf(info, x).Underlying().(type) {
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(x.Pos(), "map literal allocates")
+			}
+		case *ast.FuncLit:
+			if captures(info, x) {
+				report(x.Pos(), "closure captures variables and allocates")
+			}
+		case *ast.SelectorExpr:
+			if funPos[x] {
+				break
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				report(x.Pos(), "method value allocates a bound-method closure")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(typeOf(info, x)) && !isConst(info, x) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement spawns a goroutine")
+		case *ast.ReturnStmt:
+			classifyReturnBoxing(info, x, sig, report)
+		}
+	})
+	return out
+}
+
+// classifyCallAllocs handles the call-shaped allocation classes: the
+// make/new/append builtins, explicit conversions (to interface, between
+// string and byte/rune slices), implicit interface boxing of arguments,
+// and variadic argument slices.
+func classifyCallAllocs(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Explicit conversion T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst, src := tv.Type, typeOf(info, call.Args[0])
+		switch {
+		case boxes(info, call.Args[0], dst):
+			report(call.Pos(), "conversion to interface boxes "+relType(src))
+		case stringCopyConversion(src, dst):
+			slice := dst
+			if isString(dst) {
+				slice = src
+			}
+			report(call.Pos(), "conversion between string and "+relType(slice)+" copies")
+		}
+		return
+	}
+	// Builtins.
+	if id := calleeIdent(call); id != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Implicit boxing at parameters + variadic slice construction.
+	sig, ok := typeOf(info, call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				pt = sig.Params().At(np - 1).Type() // s... passes the slice through
+			} else {
+				pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, arg, pt) {
+			report(arg.Pos(), "argument is boxed into interface "+relType(pt))
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+		report(call.Lparen, "variadic call allocates its argument slice")
+	}
+}
+
+// classifyReturnBoxing flags concrete values returned as interface
+// results.
+func classifyReturnBoxing(info *types.Info, ret *ast.ReturnStmt, sig *types.Signature, report func(token.Pos, string)) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or multi-value call passthrough
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if boxes(info, res, rt) {
+			report(res.Pos(), "return value is boxed into interface "+relType(rt))
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// performs an allocating interface conversion: dst is an interface, the
+// expression's type is concrete, not pointer-shaped (pointers, channels,
+// maps, and funcs fit in the interface word without boxing), and the
+// expression is not a constant or nil.
+func boxes(info *types.Info, expr ast.Expr, dst types.Type) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	src := tv.Type
+	if src == nil {
+		return false
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return false
+	}
+	return !pointerShaped(src)
+}
+
+// pointerShaped reports whether values of t fit directly in an interface
+// data word.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringCopyConversion reports whether a src→dst conversion copies its
+// data: string↔[]byte, string↔[]rune.
+func stringCopyConversion(src, dst types.Type) bool {
+	return (isString(src) && isByteOrRuneSlice(dst)) || (isByteOrRuneSlice(src) && isString(dst))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// relType renders a type without package paths for diagnostics.
+func relType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// captures reports whether the function literal references a variable
+// declared outside itself (other than package-level variables, which need
+// no closure cell).
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		parent := v.Parent()
+		if parent == nil || parent == types.Universe || parent.Parent() == types.Universe {
+			return true // field selector or package-level variable
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// calleeIdent returns the identifier in call-operator position, if any.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// walkOwn visits every node in body except the contents of nested
+// function literals (the literals themselves are visited).
+func walkOwn(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		visit(x)
+		_, isLit := x.(*ast.FuncLit)
+		return !isLit
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -38,6 +39,13 @@ import (
 // Run loads each fixture package beneath testdata/src, applies the
 // analyzer, and reports mismatches against the fixtures' want comments as
 // test errors.
+//
+// Intraprocedural analyzers run per listed package, matching that
+// package's wants in isolation. Interprocedural analyzers (RunProgram)
+// run once over every fixture package the listed paths pull in —
+// including source-typed dependencies — and wants are checked across all
+// of them, so a dependency's file can carry the want for a diagnostic
+// reported at the far end of a cross-package call chain.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	imp := &fixtureImporter{
@@ -46,6 +54,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		pkgs:    make(map[string]*analysis.Package),
 		typed:   make(map[string]*types.Package),
 		exports: make(map[string]string),
+	}
+	if a.RunProgram != nil {
+		for _, path := range pkgPaths {
+			if _, err := imp.load(path); err != nil {
+				t.Errorf("loading fixture %s: %v", path, err)
+				return
+			}
+		}
+		pkgs := imp.loaded()
+		findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on fixtures %v: %v", a.Name, pkgPaths, err)
+			return
+		}
+		checkWants(t, imp.fset, pkgs, findings)
+		return
 	}
 	for _, path := range pkgPaths {
 		pkg, err := imp.load(path)
@@ -58,7 +82,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			t.Errorf("running %s on fixture %s: %v", a.Name, path, err)
 			continue
 		}
-		checkWants(t, imp.fset, pkg, findings)
+		checkWants(t, imp.fset, []*analysis.Package{pkg}, findings)
 	}
 }
 
@@ -72,11 +96,15 @@ type want struct {
 // strings or backquoted raw strings, as in upstream analysistest.
 var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
-// checkWants compares findings against the package's want comments.
-func checkWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package, findings []analysis.Finding) {
+// checkWants compares findings against the packages' want comments.
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package, findings []analysis.Finding) {
 	t.Helper()
 	wants := make(map[string][]*want) // "file:line" -> expectations
-	for _, f := range pkg.Syntax {
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Syntax...)
+	}
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				idx := strings.Index(c.Text, "// want ")
@@ -210,6 +238,17 @@ func (imp *fixtureImporter) load(path string) (*analysis.Package, error) {
 	imp.pkgs[path] = pkg
 	imp.typed[path] = typesPkg
 	return pkg, nil
+}
+
+// loaded returns every fixture package type-checked so far, sorted by
+// import path — the deterministic program a RunProgram analyzer sees.
+func (imp *fixtureImporter) loaded() []*analysis.Package {
+	pkgs := make([]*analysis.Package, 0, len(imp.pkgs))
+	for _, p := range imp.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs
 }
 
 // listExports asks the go command for the export data of path and its

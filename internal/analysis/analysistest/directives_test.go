@@ -1,0 +1,68 @@
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"go/token"
+	"go/types"
+
+	"leakbound/internal/analysis"
+)
+
+// flagme reports one diagnostic per function declaration — enough surface
+// to observe which lines a directive does and does not cover.
+var flagme = &analysis.Analyzer{
+	Name: "flagme",
+	Doc:  "test analyzer: flags every function declaration",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "flagged function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// TestIgnoreDirectiveEdgeCases runs the fixture whose want comments pin
+// the suppression grammar: comma lists cover several analyzers at once, a
+// directive works both trailing on the same line and on the line above,
+// reasons may carry arbitrary prose, and a directive naming a different
+// analyzer suppresses nothing.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	Run(t, "testdata", flagme, "example.com/directives")
+}
+
+// TestMalformedReasonDirective checks that a reason-less directive is
+// itself a finding and leaves the line it meant to cover unsuppressed.
+func TestMalformedReasonDirective(t *testing.T) {
+	imp := &fixtureImporter{
+		root:    filepath.Join("testdata", "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*analysis.Package),
+		typed:   make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	pkg, err := imp.load("example.com/malformed")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{flagme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want malformed-directive + unsuppressed function", findings)
+	}
+	if findings[0].Analyzer != "directives" || !strings.Contains(findings[0].Message, "malformed") {
+		t.Errorf("finding[0] = %+v, want the malformed //lint:ignore finding", findings[0])
+	}
+	if findings[1].Analyzer != "flagme" || findings[1].Message != "flagged function MissingReason" {
+		t.Errorf("finding[1] = %+v, want the unsuppressed function diagnostic", findings[1])
+	}
+}

@@ -1,0 +1,20 @@
+// Package directives exercises the //lint:ignore suppression grammar
+// edge cases: multi-analyzer lists, same-line vs line-above placement,
+// and reasons that carry trailing prose.
+package directives
+
+func Plain() {} // want `flagged function Plain`
+
+//lint:ignore flagme,other suppressed for both analyzers via the comma list
+func ListSuppressed() {}
+
+func SameLine() {} //lint:ignore flagme a trailing same-line directive also covers this line
+
+//lint:ignore flagme the reason runs to end of line — trailing prose, punctuation, even // slashes stay part of it
+func Above() {}
+
+//lint:ignore other a directive naming only a different analyzer does not cover this line
+func OtherOnly() {} // want `flagged function OtherOnly`
+
+//lint:ignore all the wildcard suppresses every analyzer
+func Wildcard() {}

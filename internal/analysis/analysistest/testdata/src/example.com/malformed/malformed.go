@@ -1,0 +1,6 @@
+// Package malformed holds a reason-less directive: it must surface as a
+// "directives" finding and must not suppress anything.
+package malformed
+
+//lint:ignore flagme
+func MissingReason() {}

@@ -1,0 +1,171 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"leakbound/internal/analysis"
+	"leakbound/internal/analysis/callgraph"
+)
+
+// mapImporter resolves imports from previously type-checked in-memory
+// packages, so multi-package fixtures exercise the cross-package key
+// resolution that object identity cannot provide.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m[path], nil
+}
+
+func load(t *testing.T, fset *token.FileSet, imp mapImporter, path, src string) *analysis.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	imp[path] = pkg
+	return &analysis.Package{PkgPath: path, Name: f.Name.Name, Fset: fset, Syntax: []*ast.File{f}, Types: pkg, TypesInfo: info}
+}
+
+func TestBuildClassifiesCalls(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	dep := load(t, fset, imp, "dep", `package dep
+
+type Curve interface{ At(int) float64 }
+
+type Flat struct{}
+
+func (Flat) At(int) float64 { return 0 }
+
+func Helper() int { return 1 }
+`)
+	main := load(t, fset, imp, "main", `package main
+
+import "dep"
+
+func viaInterface(c dep.Curve) float64 { return c.At(0) }
+
+func viaValue(f func() int) int { return f() }
+
+func Entry() {
+	_ = dep.Helper()          // static cross-package
+	_ = dep.Flat{}.At(0)      // static method on concrete receiver
+	_ = viaInterface(dep.Flat{})
+	_ = viaValue(dep.Helper)  // ref: function used as a value
+	for i := 0; i < 3; i++ {
+		_ = dep.Helper() // static, in loop
+	}
+}
+`)
+	g := callgraph.Build([]*analysis.Package{dep, main})
+
+	entry := nodeByKey(t, g, "main.Entry")
+	kinds := map[callgraph.Kind]int{}
+	var loopStatic, crossLinked int
+	for _, c := range entry.Calls {
+		kinds[c.Kind]++
+		if c.Kind == callgraph.Static && c.InLoop {
+			loopStatic++
+		}
+		if c.Callee != nil && c.Callee.Pkg.PkgPath == "dep" {
+			crossLinked++
+		}
+	}
+	// dep.Helper ×2, Flat.At, viaInterface, viaValue — all static from Entry.
+	if kinds[callgraph.Static] != 5 {
+		t.Errorf("Entry static calls = %d, want 5 (%+v)", kinds[callgraph.Static], entry.Calls)
+	}
+	if loopStatic != 1 {
+		t.Errorf("Entry in-loop static calls = %d, want 1", loopStatic)
+	}
+	if crossLinked != 3 {
+		t.Errorf("Entry cross-package resolved callees = %d, want dep.Helper ×2 + Flat.At", crossLinked)
+	}
+	if len(entry.Refs) != 1 || entry.Refs[0].Target == nil || entry.Refs[0].Target.Key != "dep.Helper" {
+		t.Errorf("Entry refs = %+v, want one ref to dep.Helper", entry.Refs)
+	}
+
+	vi := nodeByKey(t, g, "main.viaInterface")
+	if len(vi.Calls) != 1 || vi.Calls[0].Kind != callgraph.Interface {
+		t.Errorf("viaInterface calls = %+v, want one interface call", vi.Calls)
+	}
+	if vi.Calls[0].Fn == nil || vi.Calls[0].Fn.Name() != "At" {
+		t.Errorf("viaInterface interface method = %v, want At", vi.Calls[0].Fn)
+	}
+
+	vv := nodeByKey(t, g, "main.viaValue")
+	if len(vv.Calls) != 1 || vv.Calls[0].Kind != callgraph.FuncValue {
+		t.Errorf("viaValue calls = %+v, want one function-value call", vv.Calls)
+	}
+}
+
+func TestBuildFuncLitNodes(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	pkg := load(t, fset, imp, "p", `package p
+
+func leaf() {}
+
+func Outer() func() {
+	f := func() { leaf() }
+	return f
+}
+`)
+	g := callgraph.Build([]*analysis.Package{pkg})
+	outer := nodeByKey(t, g, "p.Outer")
+	if len(outer.Refs) != 1 || outer.Refs[0].Target == nil || outer.Refs[0].Target.Lit == nil {
+		t.Fatalf("Outer refs = %+v, want one ref to the literal node", outer.Refs)
+	}
+	lit := outer.Refs[0].Target
+	if lit.Parent != outer {
+		t.Errorf("literal parent = %v, want Outer", lit.Parent)
+	}
+	if len(lit.Calls) != 1 || lit.Calls[0].Callee == nil || lit.Calls[0].Callee.Key != "p.leaf" {
+		t.Errorf("literal calls = %+v, want static call to p.leaf", lit.Calls)
+	}
+	// The literal's call must not leak into Outer's own call list.
+	for _, c := range outer.Calls {
+		if c.Callee != nil && c.Callee.Key == "p.leaf" {
+			t.Errorf("Outer owns the literal's call to leaf: %+v", outer.Calls)
+		}
+	}
+}
+
+func TestFuncKeyErasesReceiverPointer(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	pkg := load(t, fset, imp, "p", `package p
+
+type T struct{}
+
+func (t *T) M() {}
+
+func Use(t *T) { t.M() }
+`)
+	g := callgraph.Build([]*analysis.Package{pkg})
+	use := nodeByKey(t, g, "p.Use")
+	if len(use.Calls) != 1 || use.Calls[0].Callee == nil || use.Calls[0].Callee.Key != "p.T.M" {
+		t.Errorf("Use calls = %+v, want static call to p.T.M", use.Calls)
+	}
+}
+
+func nodeByKey(t *testing.T, g *callgraph.Graph, key string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Key == key {
+			return n
+		}
+	}
+	t.Fatalf("node %q not in graph (have %d nodes)", key, len(g.Nodes))
+	return nil
+}

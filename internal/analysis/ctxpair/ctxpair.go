@@ -1,0 +1,303 @@
+// Package ctxpair guards the two sibling contracts that keep the public
+// API surface honest:
+//
+// Context pairs. Every Foo with a FooContext sibling (same package, same
+// receiver) exists only for call-site convenience; its body must be the
+// sanctioned single-statement wrapper
+//
+//	return FooContext(context.Background(), ...)
+//
+// (context.TODO() also accepted). Anything else is a drifted duplicate —
+// two bodies that started identical and will not stay that way.
+//
+// Registry factories. Every leakage.Registration.Factory must construct
+// policies that are actually reachable from the aggregate fast path: the
+// closed-form dispatch in EvaluateAggregate is a `p.(ClosedForm)` type
+// assertion, so a factory that returns a value of T while ClosedForm is
+// implemented on *T silently falls back to per-bucket evaluation on every
+// sweep — the exact regression class the ~160× aggregate kernels exist to
+// prevent. The analyzer resolves each factory's concrete return types
+// (through function literals and named constructors alike) and flags:
+// value/pointer method-set mismatches, interface-typed returns it cannot
+// verify, builtin (in-package) policies with no ClosedForm at all, and
+// ClosedForm policies that implement MissModel but not MissClosedForm
+// (the miss-curve sweep would quietly take the slow path).
+//
+// Interface lookups deliberately go through each registration's own view
+// of the leakage package (composite-literal type → defining package), so
+// the checks work identically for source-typed and export-data imports.
+package ctxpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"leakbound/internal/analysis"
+	"leakbound/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctxpair",
+	Doc:        "require Foo/FooContext delegation and statically-dispatchable registry factories",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Build(pass.Packages)
+	for _, pkg := range pass.Packages {
+		checkPairs(pass, pkg)
+		checkRegistrations(pass, g, pkg)
+	}
+	return nil
+}
+
+// checkPairs enforces the delegation contract within one package.
+func checkPairs(pass *analysis.ProgramPass, pkg *analysis.Package) {
+	type key struct{ recv, name string }
+	decls := make(map[key]*ast.FuncDecl)
+	for _, f := range pkg.Syntax {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[key{recvTypeName(pkg, fd), fd.Name.Name}] = fd
+			}
+		}
+	}
+	for k, fd := range decls {
+		if strings.HasSuffix(k.name, "Context") {
+			continue
+		}
+		sibling, ok := decls[key{k.recv, k.name + "Context"}]
+		if !ok {
+			continue
+		}
+		sibFn, _ := pkg.TypesInfo.Defs[sibling.Name].(*types.Func)
+		if sibFn == nil {
+			continue
+		}
+		if !delegates(pkg.TypesInfo, fd, sibFn) {
+			pass.Reportf(fd.Pos(), nil,
+				"%s has a %s sibling but does not delegate to it: the body must be exactly `return %s(context.Background(), ...)` so the pair cannot drift",
+				k.name, k.name+"Context", k.name+"Context")
+		}
+	}
+}
+
+// delegates reports whether fd's body is the sanctioned single-statement
+// wrapper around its Context sibling.
+func delegates(info *types.Info, fd *ast.FuncDecl, sibling *types.Func) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || callgraph.FuncKey(fn) != callgraph.FuncKey(sibling) {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ctxFn := analysis.CalleeFunc(info, first)
+	return analysis.IsPkgFunc(ctxFn, "context", "Background") || analysis.IsPkgFunc(ctxFn, "context", "TODO")
+}
+
+// recvTypeName returns the receiver's type name with pointerness erased.
+func recvTypeName(pkg *analysis.Package, fd *ast.FuncDecl) string {
+	fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// checkRegistrations finds leakage.Registration composite literals in pkg
+// and validates their factories' returned policy types.
+func checkRegistrations(pass *analysis.ProgramPass, g *callgraph.Graph, pkg *analysis.Package) {
+	info := pkg.TypesInfo
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(x ast.Node) bool {
+			cl, ok := x.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named := namedType(info, cl)
+			if named == nil || named.Obj().Name() != "Registration" || named.Obj().Pkg() == nil ||
+				!analysis.PathHasSuffix(named.Obj().Pkg().Path(), "internal/leakage") {
+				return true
+			}
+			leak := named.Obj().Pkg() // the leakage package in this pkg's universe
+			name, factory := registrationFields(info, cl)
+			if factory == nil {
+				return true
+			}
+			body, bodyInfo := factoryBody(g, pkg, factory)
+			if body == nil {
+				return true // external constructor: out of analysis reach
+			}
+			checkFactoryReturns(pass, bodyInfo, leak, name, body, pkg.PkgPath == leak.Path())
+			return true
+		})
+	}
+}
+
+// checkFactoryReturns validates every policy value the factory can return.
+func checkFactoryReturns(pass *analysis.ProgramPass, info *types.Info, leak *types.Package, name string, body *ast.BlockStmt, builtin bool) {
+	closedForm := ifaceLookup(leak, "ClosedForm")
+	missClosed := ifaceLookup(leak, "MissClosedForm")
+	missModel := ifaceLookup(leak, "MissModel")
+	inspectOwn(body, func(x ast.Node) {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return
+		}
+		res := ret.Results[0]
+		tv, ok := info.Types[res]
+		if !ok || tv.IsNil() || tv.Type == nil {
+			return
+		}
+		t := tv.Type
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			pass.Reportf(res.Pos(), nil,
+				"factory for %q returns an interface-typed value (%s): the closed-form dispatch in EvaluateAggregate cannot be statically verified",
+				name, relType(t))
+			return
+		}
+		if closedForm == nil {
+			return
+		}
+		switch {
+		case types.Implements(t, closedForm):
+			if missModel != nil && missClosed != nil &&
+				types.Implements(t, missModel) && !types.Implements(t, missClosed) {
+				pass.Reportf(res.Pos(), nil,
+					"factory for %q returns %s, which implements ClosedForm and MissModel but not MissClosedForm: induced-miss sweeps silently fall back to per-bucket evaluation",
+					name, relType(t))
+			}
+		case implementsViaPointer(t, closedForm):
+			pass.Reportf(res.Pos(), nil,
+				"factory for %q returns %s by value but ClosedForm is implemented on *%s: EvaluateAggregate's dispatch will silently fall back to per-bucket evaluation",
+				name, relType(t), relType(t))
+		case builtin:
+			pass.Reportf(res.Pos(), nil,
+				"builtin factory for %q returns %s, which has no ClosedForm: every aggregate sweep takes the slow path",
+				name, relType(t))
+		}
+	})
+}
+
+// factoryBody resolves a Factory field expression to the function body
+// that constructs policies, plus the TypesInfo that body was checked
+// under — a literal in place, or a named constructor declared anywhere in
+// the program.
+func factoryBody(g *callgraph.Graph, pkg *analysis.Package, factory ast.Expr) (*ast.BlockStmt, *types.Info) {
+	switch e := ast.Unparen(factory).(type) {
+	case *ast.FuncLit:
+		return e.Body, pkg.TypesInfo
+	case *ast.Ident, *ast.SelectorExpr:
+		var fn *types.Func
+		switch e := e.(type) {
+		case *ast.Ident:
+			fn, _ = pkg.TypesInfo.Uses[e].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = pkg.TypesInfo.Uses[e.Sel].(*types.Func)
+		}
+		if n := g.Lookup(fn); n != nil && n.Decl != nil {
+			return n.Decl.Body, n.Pkg.TypesInfo
+		}
+	}
+	return nil, nil
+}
+
+// registrationFields extracts the Name literal (for messages) and the
+// Factory expression from a Registration composite literal.
+func registrationFields(info *types.Info, cl *ast.CompositeLit) (string, ast.Expr) {
+	name := "?"
+	var factory ast.Expr
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if tv, ok := info.Types[kv.Value]; ok && tv.Value != nil {
+				name = strings.Trim(tv.Value.String(), `"`)
+			}
+		case "Factory":
+			factory = kv.Value
+		}
+	}
+	return name, factory
+}
+
+func namedType(info *types.Info, cl *ast.CompositeLit) *types.Named {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, _ := types.Unalias(tv.Type).(*types.Named)
+	return named
+}
+
+func ifaceLookup(pkg *types.Package, name string) *types.Interface {
+	tn, _ := pkg.Scope().Lookup(name).(*types.TypeName)
+	if tn == nil {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func implementsViaPointer(t types.Type, iface *types.Interface) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return types.Implements(types.NewPointer(t), iface)
+}
+
+func relType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// inspectOwn walks root without descending into nested function literals.
+func inspectOwn(root *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		visit(x)
+		_, isLit := x.(*ast.FuncLit)
+		return !isLit
+	})
+}

@@ -1,0 +1,15 @@
+package ctxpair_test
+
+import (
+	"testing"
+
+	"leakbound/internal/analysis/analysistest"
+	"leakbound/internal/analysis/ctxpair"
+)
+
+func TestCtxpair(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpair.Analyzer,
+		"example.com/pairs",
+		"example.com/schemes",
+	)
+}

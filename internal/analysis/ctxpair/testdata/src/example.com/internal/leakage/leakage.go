@@ -1,0 +1,86 @@
+// Package leakage mirrors the real registry surface: Registration
+// factories must return policies reachable from the closed-form dispatch.
+package leakage
+
+// Params stands in for the real parameter bag.
+type Params map[string]string
+
+// Policy is the evaluated interface.
+type Policy interface{ Name() string }
+
+// ClosedForm is the aggregate fast-path dispatch target.
+type ClosedForm interface{ EnergyCurve() int }
+
+// MissClosedForm is the induced-miss fast-path sibling.
+type MissClosedForm interface{ MissCurve() int }
+
+// MissModel is the slow-path miss interface.
+type MissModel interface{ IntervalMisses() int }
+
+// Registration declares one scheme.
+type Registration struct {
+	Name    string
+	Doc     string
+	Factory func(Params) (Policy, error)
+}
+
+// Registry holds registrations.
+type Registry struct{ regs []Registration }
+
+// MustRegister records a registration.
+func (r *Registry) MustRegister(reg Registration) { r.regs = append(r.regs, reg) }
+
+// Good implements ClosedForm on the pointer and is returned as one.
+type Good struct{}
+
+func (g *Good) Name() string     { return "good" }
+func (g *Good) EnergyCurve() int { return 1 }
+
+// ByValue implements ClosedForm on the pointer only, but its factory
+// returns it by value — the silent-fallback footgun.
+type ByValue struct{}
+
+func (ByValue) Name() string        { return "byvalue" }
+func (v *ByValue) EnergyCurve() int { return 1 }
+
+// NoCurve is a builtin with no closed form at all.
+type NoCurve struct{}
+
+func (NoCurve) Name() string { return "nocurve" }
+
+// Parity has an energy closed form and a miss model but no miss closed
+// form.
+type Parity struct {
+	misses int
+}
+
+func (Parity) Name() string          { return "parity" }
+func (Parity) EnergyCurve() int      { return 1 }
+func (p Parity) IntervalMisses() int { return p.misses }
+
+func newBuiltins() *Registry {
+	r := &Registry{}
+	r.MustRegister(Registration{
+		Name:    "good",
+		Factory: func(Params) (Policy, error) { return &Good{}, nil },
+	})
+	r.MustRegister(Registration{
+		Name: "byvalue",
+		Factory: func(Params) (Policy, error) {
+			return ByValue{}, nil // want `factory for "byvalue" returns leakage.ByValue by value but ClosedForm is implemented on \*leakage.ByValue`
+		},
+	})
+	r.MustRegister(Registration{
+		Name: "nocurve",
+		Factory: func(Params) (Policy, error) {
+			return NoCurve{}, nil // want `builtin factory for "nocurve" returns leakage.NoCurve, which has no ClosedForm`
+		},
+	})
+	r.MustRegister(Registration{
+		Name: "parity",
+		Factory: func(Params) (Policy, error) {
+			return Parity{}, nil // want `implements ClosedForm and MissModel but not MissClosedForm`
+		},
+	})
+	return r
+}

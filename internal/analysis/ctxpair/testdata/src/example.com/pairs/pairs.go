@@ -1,0 +1,63 @@
+// Package pairs exercises the Foo/FooContext delegation contract.
+package pairs
+
+import "context"
+
+// Runner carries method pairs.
+type Runner struct{ n int }
+
+// RunContext is the real implementation.
+func (r *Runner) RunContext(ctx context.Context, x int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return r.n + x, nil
+}
+
+// Run delegates with the sanctioned wrapper: no finding.
+func (r *Runner) Run(x int) (int, error) {
+	return r.RunContext(context.Background(), x)
+}
+
+// SweepContext is the real implementation.
+func (r *Runner) SweepContext(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// Sweep duplicates SweepContext's body instead of delegating — the drift
+// this analyzer exists to catch.
+func (r *Runner) Sweep(xs []int) (int, error) { // want `Sweep has a SweepContext sibling but does not delegate`
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total, nil
+}
+
+// EvalContext is the real implementation.
+func EvalContext(ctx context.Context, x int) int {
+	_ = ctx
+	return x * 2
+}
+
+// Eval delegates but invents its own context instead of Background/TODO —
+// still a contract violation.
+func Eval(x int) int { // want `Eval has a EvalContext sibling but does not delegate`
+	ctx := context.WithValue(context.Background(), "k", "v")
+	return EvalContext(ctx, x)
+}
+
+// TodoContext is the real implementation.
+func TodoContext(ctx context.Context) int { _ = ctx; return 1 }
+
+// Todo uses context.TODO(), which is accepted.
+func Todo() int {
+	return TodoContext(context.TODO())
+}

@@ -1,0 +1,47 @@
+// Package schemes registers third-party policies from outside the
+// leakage package: factories resolve through named constructors, and the
+// no-ClosedForm check is builtin-only.
+package schemes
+
+import "example.com/internal/leakage"
+
+// Memo implements ClosedForm on the pointer only.
+type Memo struct{ accuracy float64 }
+
+func (Memo) Name() string        { return "memo" }
+func (m *Memo) EnergyCurve() int { return 1 }
+
+// Plain has no closed form; outside the leakage package that is allowed
+// (the sweep falls back knowingly), so no finding.
+type Plain struct{}
+
+func (Plain) Name() string { return "plain" }
+
+// newMemo is a named constructor: the analyzer resolves the Factory
+// reference to this body — the finding is two steps from the
+// registration.
+func newMemo(leakage.Params) (leakage.Policy, error) {
+	return Memo{accuracy: 0.9}, nil // want `factory for "memo" returns schemes.Memo by value but ClosedForm is implemented on \*schemes.Memo`
+}
+
+// build returns the interface, hiding the concrete type.
+func build() leakage.Policy { return Plain{} }
+
+// Register wires the schemes into a registry.
+func Register(r *leakage.Registry) {
+	r.MustRegister(leakage.Registration{
+		Name:    "memo",
+		Factory: newMemo,
+	})
+	r.MustRegister(leakage.Registration{
+		Name:    "plain",
+		Factory: func(leakage.Params) (leakage.Policy, error) { return Plain{}, nil },
+	})
+	r.MustRegister(leakage.Registration{
+		Name: "hidden",
+		Factory: func(leakage.Params) (leakage.Policy, error) {
+			p := build()
+			return p, nil // want `factory for "hidden" returns an interface-typed value \(leakage.Policy\)`
+		},
+	})
+}

@@ -1,0 +1,263 @@
+// Package detflow is the interprocedural extension of the determinism
+// analyzer: where determinism flags nondeterministic constructs used
+// directly inside result-producing packages, detflow computes a
+// per-function taint summary bottom-up over the call graph and reports
+// when nondeterminism reaches a result-producing function through a call
+// chain — a time.Now two helpers deep is invisible to the intraprocedural
+// check but corrupts RESULTS.txt just the same.
+//
+// Sources (per-function direct facts): time.Now/time.Since calls, any use
+// of math/rand or math/rand/v2, and appends into outer variables in map
+// iteration order without a later sort. A source site already covered by
+// a //lint:ignore determinism (or detflow) directive is treated as
+// reviewed and does not taint — the existing telemetry-timing
+// suppressions in internal/experiments keep their force transitively.
+//
+// Sinks: every function in a result-producing package (the same set the
+// determinism analyzer guards) plus any function named Digest. A finding
+// is reported at the sink's call site into the tainted subgraph, with the
+// chain down to the originating source; direct uses inside a sink are
+// deliberately not re-reported — that is determinism's finding.
+//
+// Soundness caveats, documented rather than papered over: taint does not
+// propagate through interface or function-value calls (no points-to
+// analysis), and internal/telemetry is a barrier — it reads clocks by
+// design, but only observational state flows out of it, never result
+// values.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"leakbound/internal/analysis"
+	"leakbound/internal/analysis/callgraph"
+	"leakbound/internal/analysis/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "detflow",
+	Doc:        "trace nondeterminism (clocks, randomness, map order) through call chains into result-producing code",
+	RunProgram: run,
+}
+
+// resultPackages mirrors the determinism analyzer's sink set.
+var resultPackages = regexp.MustCompile(`(^|/)internal/(leakage|interval|experiments|report|stats)$`)
+
+// telemetryBarrier matches the observability layer: clock reads inside it
+// are its purpose, and nothing it computes feeds results.
+const telemetryBarrier = "internal/telemetry"
+
+// fact is one function's taint summary: whether nondeterminism is
+// statically reachable from it, what kind, and one witness route.
+type fact struct {
+	tainted bool
+	what    string      // "time.Now", "math/rand", "map iteration order"
+	chain   []token.Pos // call sites from this function down to the source site, then the site itself
+	route   []string    // node names from this function down to the source holder
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Build(pass.Packages)
+	sanctioned := analysis.Directives(pass.Packages...)
+
+	facts := summary.Compute(g,
+		func(n *callgraph.Node) fact {
+			if inTelemetry(n) {
+				return fact{}
+			}
+			return directFact(pass.Fset, sanctioned, n)
+		},
+		func(caller *callgraph.Node, f fact, call callgraph.Call, calleeFact fact) (fact, bool) {
+			if f.tainted || !calleeFact.tainted || inTelemetry(call.Callee) {
+				return f, false
+			}
+			return fact{
+				tainted: true,
+				what:    calleeFact.what,
+				chain:   append([]token.Pos{call.Site}, calleeFact.chain...),
+				route:   append([]string{caller.String()}, calleeFact.route...),
+			}, true
+		},
+	)
+
+	for _, n := range g.Nodes {
+		if !isSink(n) {
+			continue
+		}
+		for _, c := range n.Calls {
+			if c.Callee == nil || !facts[c.Callee].tainted {
+				continue
+			}
+			// A tainted callee that is itself a sink carries its own finding
+			// (or determinism's, if the use is direct) — report at the
+			// deepest sink boundary only.
+			if isSink(c.Callee) {
+				continue
+			}
+			cf := facts[c.Callee]
+			pass.Reportf(c.Site, cf.chain, "call chain reaches %s (via %s): nondeterminism must not flow into results",
+				cf.what, strings.Join(cf.route, " → "))
+		}
+	}
+	return nil
+}
+
+// directFact scans a node's own body for nondeterminism sources, skipping
+// sites already suppressed for determinism or detflow.
+func directFact(fset *token.FileSet, sanctioned analysis.DirectiveIndex, n *callgraph.Node) fact {
+	info := n.Pkg.TypesInfo
+	reviewed := func(pos token.Pos) bool {
+		p := fset.Position(pos)
+		return sanctioned.Covers("determinism", p) || sanctioned.Covers("detflow", p)
+	}
+	var f fact
+	source := func(pos token.Pos, what string) {
+		if f.tainted || reviewed(pos) {
+			return
+		}
+		f = fact{tainted: true, what: what, chain: []token.Pos{pos}, route: []string{n.String()}}
+	}
+	body := n.Body()
+	inspectOwn(body, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, x)
+			if analysis.IsPkgFunc(fn, "time", "Now") {
+				source(x.Pos(), "time.Now")
+			} else if analysis.IsPkgFunc(fn, "time", "Since") {
+				source(x.Pos(), "time.Since")
+			}
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if pn, ok := info.Uses[id].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "math/rand", "math/rand/v2":
+						source(x.Pos(), "math/rand")
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if pos, ok := unsortedMapAppend(info, body, x); ok {
+						source(pos, "map iteration order")
+					}
+				}
+			}
+		}
+	})
+	return f
+}
+
+// unsortedMapAppend reports an append into a variable declared outside
+// the map range, unless a sort call mentioning that variable follows in
+// the same body — the same collect-then-sort contract the determinism
+// analyzer enforces.
+func unsortedMapAppend(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt) (token.Pos, bool) {
+	var hit token.Pos
+	ast.Inspect(rs.Body, func(x ast.Node) bool {
+		if hit.IsValid() {
+			return false
+		}
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					if obj := assignedObject(info, as.Lhs[i]); obj != nil && obj.Pos() < rs.Pos() {
+						if !sortedAfter(info, body, rs, obj) {
+							hit = as.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return hit, hit.IsValid()
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call mentioning obj
+// appears after the range within the same body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort": // every exported entry point sorts
+		case "slices":
+			if !strings.HasPrefix(fn.Name(), "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		ast.Inspect(call, func(y ast.Node) bool {
+			if id, ok := y.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+func assignedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func inTelemetry(n *callgraph.Node) bool {
+	return n != nil && analysis.PathHasSuffix(n.Pkg.PkgPath, telemetryBarrier)
+}
+
+// isSink reports whether the node's findings would feed the paper's
+// numbers: any function in a result-producing package, or a Digest
+// implementation anywhere.
+func isSink(n *callgraph.Node) bool {
+	if resultPackages.MatchString(n.Pkg.PkgPath) {
+		return true
+	}
+	return n.Fn != nil && n.Fn.Name() == "Digest"
+}
+
+// inspectOwn walks root without descending into nested function literals.
+func inspectOwn(root *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		visit(x)
+		_, isLit := x.(*ast.FuncLit)
+		return !isLit
+	})
+}

@@ -1,0 +1,8 @@
+// Package telemetry mirrors the real observability layer: it reads the
+// clock by design and is a taint barrier.
+package telemetry
+
+import "time"
+
+// TimeIt reads the wall clock for an observational measurement.
+func TimeIt() int64 { return time.Now().UnixNano() }

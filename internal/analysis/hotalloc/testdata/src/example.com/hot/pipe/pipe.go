@@ -1,0 +1,86 @@
+// Package pipe exercises the hotalloc contract tiers: full markers with
+// transitive (two-call-deep) findings, entry markers with loop/setup/cold
+// region handling, reference-propagated hotness, chain suppression, and
+// malformed markers.
+package pipe
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sink interface{ put(int) }
+
+// Kernel is a leaf-style hot kernel: everything it statically reaches is
+// steady-state.
+//
+//lint:hotpath
+func Kernel(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += accum(total, x)
+	}
+	return total
+}
+
+func accum(a, b int) int {
+	return combine(a, b)
+}
+
+func combine(a, b int) int {
+	buf := make([]int, 2) // want `make allocates on hot path pipe.Kernel → pipe.accum → pipe.combine`
+	buf[0] = a
+	buf[1] = b
+	return buf[0] + buf[1]
+}
+
+// Run is an entry point: the loop is hot, the straight-line setup and the
+// error exits are not.
+//
+//lint:hotpath entry
+func Run(xs []int, s sink) error {
+	if s == nil {
+		return fmt.Errorf("pipe: nil sink for %d values", len(xs)) // cold: error exit, not flagged
+	}
+	setup := make([]int, 0, 8) // setup outside the loop: not flagged at entry tier
+	for _, x := range xs {
+		setup = append(setup, x) // want `append may grow its backing array on hot path pipe.Run`
+		s.put(x)                 // want `dynamic interface call put on hot path pipe.Run`
+	}
+	emit(helper)
+	_ = setup
+	return nil
+}
+
+// emit is reached from Run's setup region, so it inherits entry-ness; its
+// own body has no loops, so the function-value call stays unflagged.
+func emit(f func(int)) {
+	f(0)
+}
+
+// helper is referenced as a value from Run — it may be invoked from the
+// hot loop no matter where the reference sits, so it becomes fully hot.
+func helper(n int) {
+	p := new(int) // want `new allocates on hot path pipe.Run → pipe.helper`
+	*p = n
+}
+
+// Wrapped demonstrates chain suppression: the directive on the call edge
+// sanctions the allocation inside grow, so no finding survives.
+//
+//lint:hotpath
+func Wrapped() {
+	//lint:ignore hotalloc grow's allocation is amortized across the page
+	grow()
+}
+
+func grow() {
+	_ = make([]byte, 1)
+}
+
+// Odd carries a marker that is neither bare nor "entry".
+//
+//lint:hotpath sometimes // want `malformed //lint:hotpath directive`
+func Odd() {
+	_ = errors.New("never hot")
+}

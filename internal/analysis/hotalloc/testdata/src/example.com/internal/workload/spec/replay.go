@@ -1,0 +1,24 @@
+// Package spec mimics the real replay reader's shape but omits the
+// required //lint:hotpath marker — the roster check must fail, proving
+// the zero-alloc replay contract cannot silently lapse by deleting the
+// marker.
+package spec
+
+// Instr is a stand-in for the replay instruction record.
+type Instr struct {
+	Addr uint64
+}
+
+// Replay mirrors the trace replay reader.
+type Replay struct {
+	instrs []Instr
+}
+
+// Emit drives the replay loop.
+func (r *Replay) Emit(yield func(Instr) bool) { // want `\(\*Replay\)\.Emit is on the hot-path roster`
+	for _, in := range r.instrs {
+		if !yield(in) { // want `dynamic function-value call on hot path \(\*Replay\)\.Emit`
+			return
+		}
+	}
+}

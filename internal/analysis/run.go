@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one reported diagnostic after directive filtering, with its
@@ -19,35 +20,92 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// Timing records how long one analyzer spent across the whole run —
+// summed over packages for intraprocedural analyzers, the single program
+// pass for interprocedural ones.
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by file, line, column, then analyzer name — the output
 // order is deterministic by construction, like everything else in this
 // repo. Diagnostics suppressed by a well-formed `//lint:ignore` directive
 // are dropped; malformed directives are themselves findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunTimed(pkgs, analyzers)
+	return findings, err
+}
+
+// RunTimed is Run, additionally reporting per-analyzer wall time in the
+// analyzers' presentation order (the `make lint` timing table).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
 	var findings []Finding
+	dirs := make(directiveSet)
 	for _, pkg := range pkgs {
-		dirs, bad := collectDirectives(pkg)
+		bad := collectDirectives(pkg, dirs)
 		findings = append(findings, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if dirs.suppresses(a.Name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	// A diagnostic survives only if no directive covers its own position
+	// or any call-site position on its chain.
+	keep := func(name string, fset *token.FileSet, d Diagnostic) (Finding, bool) {
+		pos := fset.Position(d.Pos)
+		if dirs.suppresses(name, pos) {
+			return Finding{}, false
+		}
+		for _, cp := range d.Chain {
+			if dirs.suppresses(name, fset.Position(cp)) {
+				return Finding{}, false
 			}
 		}
+		return Finding{Analyzer: name, Pos: pos, Message: d.Message}, true
+	}
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		switch {
+		case a.RunProgram != nil:
+			if len(pkgs) == 0 {
+				break
+			}
+			pass := &ProgramPass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Packages: pkgs,
+			}
+			pass.Report = func(d Diagnostic) {
+				if f, ok := keep(a.Name, pass.Fset, d); ok {
+					findings = append(findings, f)
+				}
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+		default:
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Syntax,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+				}
+				pass.Report = func(d Diagnostic) {
+					if f, ok := keep(a.Name, pkg.Fset, d); ok {
+						findings = append(findings, f)
+					}
+				}
+				if _, err := a.Run(pass); err != nil {
+					return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				}
+			}
+		}
+		elapsed[a.Name] += time.Since(start)
+	}
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Name: a.Name, Duration: elapsed[a.Name]})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -62,7 +120,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // directivePrefix is the suppression marker: a comment of the form
@@ -94,10 +152,35 @@ func (d directiveSet) suppresses(analyzer string, pos token.Position) bool {
 	return false
 }
 
+// DirectiveIndex is a read-only view of the //lint:ignore directives in a
+// set of packages, for analyzers that need to know whether a site has
+// already been human-sanctioned (detflow treats a time.Now carrying a
+// determinism suppression as a reviewed non-source rather than re-raising
+// it through every caller).
+type DirectiveIndex struct {
+	set directiveSet
+}
+
+// Directives indexes the well-formed suppression directives of pkgs
+// (malformed ones are the runner's business and are ignored here).
+func Directives(pkgs ...*Package) DirectiveIndex {
+	set := make(directiveSet)
+	for _, pkg := range pkgs {
+		collectDirectives(pkg, set)
+	}
+	return DirectiveIndex{set: set}
+}
+
+// Covers reports whether a directive naming the analyzer (or "all")
+// suppresses findings at pos.
+func (ix DirectiveIndex) Covers(analyzer string, pos token.Position) bool {
+	return ix.set.suppresses(analyzer, pos)
+}
+
 // collectDirectives scans a package's comments for lint:ignore directives,
-// returning the suppression index and a finding per malformed directive.
-func collectDirectives(pkg *Package) (directiveSet, []Finding) {
-	dirs := make(directiveSet)
+// merging the suppressions into dirs and returning a finding per malformed
+// directive.
+func collectDirectives(pkg *Package, dirs directiveSet) []Finding {
 	var bad []Finding
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
@@ -125,5 +208,5 @@ func collectDirectives(pkg *Package) (directiveSet, []Finding) {
 			}
 		}
 	}
-	return dirs, bad
+	return bad
 }

@@ -1,0 +1,116 @@
+// Package summary is a bottom-up, per-function fact engine over a
+// callgraph.Graph. Facts are computed once per function (memoized in the
+// returned map) in callee-before-caller order; recursion is handled by
+// condensing the static call graph into strongly connected components
+// (Tarjan) and iterating each component to a fixpoint, so mutually
+// recursive functions converge instead of looping.
+//
+// Facts flow only along static call edges — interface and function-value
+// calls have no callee and contribute nothing, which is the engine's
+// documented soundness caveat (analyzers that care, like hotalloc, flag
+// those sites directly instead).
+package summary
+
+import "leakbound/internal/analysis/callgraph"
+
+// Compute derives a fact of type F for every node in g.
+//
+// direct produces a node's fact from its own body alone. merge folds one
+// static call edge into the caller's fact: given the caller, its current
+// fact, the call site, and the callee's (possibly still converging) fact,
+// it returns the updated fact and whether it changed — the changed flag
+// is what drives the fixpoint inside a recursive component, so merge must
+// report false once the fact stops absorbing new information or the
+// engine will not terminate.
+func Compute[F any](g *callgraph.Graph, direct func(*callgraph.Node) F, merge func(caller *callgraph.Node, fact F, call callgraph.Call, calleeFact F) (F, bool)) map[*callgraph.Node]F {
+	facts := make(map[*callgraph.Node]F, len(g.Nodes))
+	for _, scc := range SCCs(g) {
+		for _, n := range scc {
+			facts[n] = direct(n)
+		}
+		// Iterate the component to a fixpoint. Cross-component callees are
+		// already final (Tarjan emits callees first); single non-recursive
+		// nodes converge in one extra pass.
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				f := facts[n]
+				for _, c := range n.Calls {
+					if c.Callee == nil {
+						continue
+					}
+					cf, ok := facts[c.Callee]
+					if !ok {
+						continue // defensive: unreachable with a well-formed graph
+					}
+					var ch bool
+					f, ch = merge(n, f, c, cf)
+					changed = changed || ch
+				}
+				facts[n] = f
+			}
+		}
+	}
+	return facts
+}
+
+// SCCs returns the strongly connected components of g's static call
+// edges in reverse topological order of the condensation: every
+// component appears after all components it calls into, so a bottom-up
+// pass can process the slice front to back.
+func SCCs(g *callgraph.Graph) [][]*callgraph.Node {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*callgraph.Node]*state, len(g.Nodes))
+	var stack []*callgraph.Node
+	var sccs [][]*callgraph.Node
+	next := 0
+
+	var strongconnect func(n *callgraph.Node)
+	strongconnect = func(n *callgraph.Node) {
+		s := &state{index: next, lowlink: next}
+		next++
+		states[n] = s
+		stack = append(stack, n)
+		s.onStack = true
+		for _, c := range n.Calls {
+			w := c.Callee
+			if w == nil {
+				continue
+			}
+			ws, seen := states[w]
+			switch {
+			case !seen:
+				strongconnect(w)
+				if wl := states[w].lowlink; wl < s.lowlink {
+					s.lowlink = wl
+				}
+			case ws.onStack:
+				if ws.index < s.lowlink {
+					s.lowlink = ws.index
+				}
+			}
+		}
+		if s.lowlink == s.index {
+			var scc []*callgraph.Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				scc = append(scc, w)
+				if w == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, seen := states[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

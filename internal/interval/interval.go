@@ -505,6 +505,8 @@ func (c *Collector) AddBatch(b *stream.Batch) error {
 
 // AddCols is Add by columns — one event, no trace.Event box. Events for
 // other caches are ignored, as in Add.
+//
+//lint:hotpath entry
 func (c *Collector) AddCols(cycle, lineAddr, pc uint64, frame uint32, cacheID trace.CacheID, kind trace.Kind, miss bool) error {
 	if cacheID != c.cache {
 		return nil

@@ -50,6 +50,8 @@ func evalCurveOverClass(c Curve, cls *interval.FlagsClass) float64 {
 // semantics as Evaluate. It uses the closed-form fast path when the
 // policy declares one and falls back to the reference bucket walk over
 // agg.Source() otherwise.
+//
+//lint:hotpath entry
 func EvaluateAggregate(t power.Technology, agg *interval.Aggregates, p Policy) (Evaluation, error) {
 	if err := t.Validate(); err != nil {
 		return Evaluation{}, err
@@ -62,6 +64,7 @@ func EvaluateAggregate(t power.Technology, agg *interval.Aggregates, p Policy) (
 	}
 	cf, ok := p.(ClosedForm)
 	if !ok {
+		//lint:ignore hotalloc policies without a closed form take the audited reference walk; no builtin policy hits this
 		return Evaluate(t, agg.Source(), p)
 	}
 	baseline := t.PActive * float64(agg.Mass())
@@ -71,15 +74,18 @@ func EvaluateAggregate(t power.Technology, agg *interval.Aggregates, p Policy) (
 	var energy float64
 	for i := range agg.Classes() {
 		cls := &agg.Classes()[i]
+		//lint:ignore hotalloc one virtual EnergyCurve dispatch per flags class (≤64), amortized over the whole curve
 		curve, ok := cf.EnergyCurve(t, cls.Flags)
 		if !ok {
 			// No closed form for this flags class: the whole evaluation
 			// falls back, never a mixed fast/reference sum.
+			//lint:ignore hotalloc a class without a curve sends the whole evaluation down the audited reference walk
 			return Evaluate(t, agg.Source(), p)
 		}
 		energy += evalCurveOverClass(curve, cls)
 	}
 	return Evaluation{
+		//lint:ignore hotalloc one Name dispatch per evaluation to stamp the result
 		Policy:   p.Name(),
 		Energy:   energy,
 		Baseline: baseline,
@@ -91,6 +97,8 @@ func EvaluateAggregate(t power.Technology, agg *interval.Aggregates, p Policy) (
 // distribution — the batched inner loop of the dense sweeps and the
 // Pareto population. Results are indexed like policies; errors carry the
 // failing policy's name, matching EvaluateAll.
+//
+//lint:hotpath entry
 func EvaluateMany(t power.Technology, agg *interval.Aggregates, ps []Policy) ([]Evaluation, error) {
 	out := make([]Evaluation, len(ps))
 	for i, p := range ps {

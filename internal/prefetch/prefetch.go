@@ -183,6 +183,8 @@ func (c *Classifier) observe(cycle, lineAddr, pc uint64, kind trace.Kind) {
 // touch the same PC entry, and classification reads its state before the
 // observation updates it, so sharing the pointer preserves the
 // Classify-then-Observe contract exactly.
+//
+//lint:hotpath
 func (c *Classifier) ClassifyObserve(cycle, lineAddr, pc uint64, kind trace.Kind, start uint64, closing bool) interval.Flags {
 	var flags interval.Flags
 	if c.cfg.NextLine {

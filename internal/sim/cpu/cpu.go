@@ -113,6 +113,8 @@ func RunContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy,
 // event — the single-pass streaming path: no event slice is ever
 // materialized, and the one batch buffer is reused for the whole run.
 // It is RunStreamContext with a background context.
+//
+//lint:hotpath entry
 func RunStream(w workload.Workload, hier *cache.Hierarchy, cfg Config, sink stream.Sink) (Result, error) {
 	return RunStreamContext(context.Background(), w, hier, cfg, sink)
 }
@@ -133,6 +135,7 @@ func RunStreamContext(ctx context.Context, w workload.Workload, hier *cache.Hier
 	}
 	m.batch = stream.NewBatch(stream.DefaultBatchEvents)
 	m.flushFn = func(b *stream.Batch) (*stream.Batch, error) {
+		//lint:ignore hotalloc one indirect sink call per full batch, amortized over DefaultBatchEvents events
 		err := sink(b)
 		b.Reset()
 		return b, err
@@ -141,6 +144,7 @@ func RunStreamContext(ctx context.Context, w workload.Workload, hier *cache.Hier
 		if b.Len() == 0 {
 			return nil
 		}
+		//lint:ignore hotalloc final partial-batch flush, once per run
 		return sink(b)
 	}
 	return m.run(w)
@@ -153,6 +157,8 @@ func RunStreamContext(ctx context.Context, w workload.Workload, hier *cache.Hier
 // always closed before RunRingContext returns — including on
 // cancellation — so the consumer terminates; callers must still wait for
 // the consumer to finish before reading its results.
+//
+//lint:hotpath entry
 func RunRingContext(ctx context.Context, w workload.Workload, hier *cache.Hierarchy, cfg Config, ring *stream.Ring) (Result, error) {
 	if ring == nil {
 		return Result{}, errors.New("cpu: nil ring")
@@ -281,6 +287,7 @@ func (m *machine) consume(in workload.Instr) bool {
 		return false
 	}
 	if m.instrs&ctxCheckMask == 0 {
+		//lint:ignore hotalloc cancellation poll: one interface dispatch per ctxCheckMask-sized window, not per event
 		if err := m.ctx.Err(); err != nil {
 			m.ctxErr = err
 			m.stopping = true
@@ -303,6 +310,7 @@ func (m *machine) consume(in workload.Instr) bool {
 			m.flushGroup()
 		}
 	}
+	//lint:ignore hotalloc group buffer reaches fetch-width capacity within the first few groups and is reused via m.group[:0]
 	m.group = append(m.group, in)
 	m.instrs++
 	if m.cfg.MaxInstrs > 0 && m.instrs >= m.cfg.MaxInstrs {
@@ -374,6 +382,7 @@ func (m *machine) flushGroup() {
 func (m *machine) emit(cycle, lineAddr, pc uint64, frame uint32, cacheID trace.CacheID, kind trace.Kind, miss bool) {
 	m.events++
 	if m.batch != nil {
+		//lint:ignore hotalloc batch columns are fixed-capacity and Full() flushes before any append could grow them
 		m.batch.Append(cycle, lineAddr, pc, frame, cacheID, kind, miss)
 		if m.batch.Full() {
 			m.flushBatch()
@@ -381,6 +390,7 @@ func (m *machine) emit(cycle, lineAddr, pc uint64, frame uint32, cacheID trace.C
 		return
 	}
 	if m.sink != nil {
+		//lint:ignore hotalloc per-event sink is the compatibility path; the streaming entry points leave m.sink nil
 		m.sink(trace.Event{
 			Cycle:    cycle,
 			LineAddr: lineAddr,
@@ -398,6 +408,7 @@ func (m *machine) flushBatch() {
 		m.batch.Reset()
 		return
 	}
+	//lint:ignore hotalloc one indirect flush per full batch
 	next, err := m.flushFn(m.batch)
 	if err != nil {
 		m.sinkErr = err

@@ -100,6 +100,7 @@ func (m *Map[V]) Ptr(k uint64) *V {
 // if k is absent. The pointer is valid until the next Upsert.
 func (m *Map[V]) Upsert(k uint64) *V {
 	if m.state == nil {
+		//lint:ignore hotalloc lazy first-touch init; table growth is amortized doubling
 		m.init(minCap)
 	}
 	// Grow before probing so the returned pointer survives this call.
@@ -233,6 +234,7 @@ func (p *Pages) slotSlow(k uint64) *uint64 {
 	pk := k >> pageShift
 	pp := p.table.Upsert(pk)
 	if *pp == nil {
+		//lint:ignore hotalloc one 4KB page per 512 distinct keys, first touch only
 		*pp = new([pageSize]uint64)
 	}
 	p.memoKey, p.memo = pk+1, *pp
@@ -242,6 +244,8 @@ func (p *Pages) slotSlow(k uint64) *uint64 {
 // Lookup returns a pointer to k's value, or nil if its page was never
 // touched. Unlike Slot it allocates nothing; like Slot, a memo hit stays
 // inline in the caller.
+//
+//lint:hotpath
 func (p *Pages) Lookup(k uint64) *uint64 {
 	if k>>pageShift+1 != p.memoKey {
 		return p.lookupSlow(k)
@@ -259,6 +263,8 @@ func (p *Pages) lookupSlow(k uint64) *uint64 {
 }
 
 // Get returns k's value, or 0 if absent.
+//
+//lint:hotpath
 func (p *Pages) Get(k uint64) uint64 {
 	if k>>pageShift+1 != p.memoKey {
 		return p.getSlow(k)

@@ -95,8 +95,11 @@ func (r *Replay) Description() string {
 }
 
 // Emit implements workload.Workload: the identical stream on every call.
+//
+//lint:hotpath
 func (r *Replay) Emit(yield func(workload.Instr) bool) {
 	for _, in := range r.instrs {
+		//lint:ignore hotalloc yield is the workload iterator contract; the consumer's call site devirtualizes after inlining
 		if !yield(in) {
 			return
 		}
